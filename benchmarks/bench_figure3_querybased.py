@@ -1,0 +1,23 @@
+"""Figure 3: average #EQs and #MQs of the A2 algorithm per schema variant."""
+
+from repro.experiments.figures import figure3_query_complexity
+
+from .conftest import run_once
+
+
+def test_figure3_query_complexity(benchmark):
+    points = run_once(
+        benchmark,
+        figure3_query_complexity,
+        num_variables_range=(4, 6, 8),
+        definitions_per_setting=5,
+        seed=1,
+    )
+    print("\nFigure 3 (A2 query complexity):")
+    for point in points:
+        print(
+            f"  vars={point['num_variables']:.0f} variant={point['variant']:15s} "
+            f"EQs={point['mean_equivalence_queries']:.1f} "
+            f"MQs={point['mean_membership_queries']:.1f}"
+        )
+    assert len(points) == 12

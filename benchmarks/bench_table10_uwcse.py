@@ -1,0 +1,40 @@
+"""Table 10: UW-CSE — precision/recall/time per learner and schema variant."""
+
+from repro.experiments.harness import run_schema_sweep
+from repro.experiments.reporting import format_paper_table
+from repro.experiments.tables import aleph_foil_spec, aleph_progol_spec, castor_spec, foil_spec
+
+from .conftest import run_once
+
+VARIANTS = ["original", "4nf", "denormalized1", "denormalized2"]
+
+
+def _sweep(bundle, specs):
+    return run_schema_sweep(bundle, specs, variants=VARIANTS, folds=1, seed=0)
+
+
+def test_table10_castor(benchmark, uwcse_bundle):
+    results = run_once(benchmark, _sweep, uwcse_bundle, [castor_spec()])
+    print("\n" + format_paper_table(results, VARIANTS, "Table 10 (Castor) — UW-CSE"))
+
+
+def test_table10_aleph_foil(benchmark, uwcse_bundle):
+    results = run_once(
+        benchmark, _sweep, uwcse_bundle, [aleph_foil_spec(clause_length=6, name="Aleph-FOIL")]
+    )
+    print("\n" + format_paper_table(results, VARIANTS, "Table 10 (Aleph-FOIL) — UW-CSE"))
+
+
+def test_table10_aleph_progol(benchmark, uwcse_bundle):
+    results = run_once(
+        benchmark,
+        _sweep,
+        uwcse_bundle,
+        [aleph_progol_spec(clause_length=6, name="Aleph-Progol")],
+    )
+    print("\n" + format_paper_table(results, VARIANTS, "Table 10 (Aleph-Progol) — UW-CSE"))
+
+
+def test_table10_foil(benchmark, uwcse_bundle):
+    results = run_once(benchmark, _sweep, uwcse_bundle, [foil_spec()])
+    print("\n" + format_paper_table(results, VARIANTS, "Table 10 (FOIL) — UW-CSE"))

@@ -1,0 +1,32 @@
+"""Table 11: IMDb — precision/recall/time per learner over JMDB / Stanford / Denormalized."""
+
+from repro.experiments.harness import run_schema_sweep
+from repro.experiments.reporting import format_paper_table
+from repro.experiments.tables import aleph_foil_spec, aleph_progol_spec, castor_spec
+
+from .conftest import run_once
+
+VARIANTS = ["jmdb", "stanford", "denormalized"]
+
+
+def _sweep(bundle, specs):
+    return run_schema_sweep(bundle, specs, variants=VARIANTS, folds=1, seed=0)
+
+
+def test_table11_castor(benchmark, imdb_bundle):
+    results = run_once(benchmark, _sweep, imdb_bundle, [castor_spec()])
+    print("\n" + format_paper_table(results, VARIANTS, "Table 11 (Castor) — IMDb"))
+
+
+def test_table11_aleph_foil(benchmark, imdb_bundle):
+    results = run_once(
+        benchmark, _sweep, imdb_bundle, [aleph_foil_spec(clause_length=6, name="Aleph-FOIL")]
+    )
+    print("\n" + format_paper_table(results, VARIANTS, "Table 11 (Aleph-FOIL) — IMDb"))
+
+
+def test_table11_aleph_progol(benchmark, imdb_bundle):
+    results = run_once(
+        benchmark, _sweep, imdb_bundle, [aleph_progol_spec(clause_length=6, name="Aleph-Progol")]
+    )
+    print("\n" + format_paper_table(results, VARIANTS, "Table 11 (Aleph-Progol) — IMDb"))

@@ -1,0 +1,31 @@
+"""Table 12: Castor with subset-form INDs only (general decomposition/composition)."""
+
+from repro.experiments.harness import run_schema_sweep
+from repro.experiments.reporting import format_paper_table
+from repro.experiments.tables import castor_spec, _downgrade_bundle_inds
+
+from .conftest import run_once
+
+
+def _sweep_subset_inds(bundle, variants):
+    downgraded = _downgrade_bundle_inds(bundle)
+    spec = castor_spec(use_subset_inds=True, name="Castor (subset INDs)")
+    return run_schema_sweep(downgraded, [spec], variants=variants, folds=1, seed=0)
+
+
+def test_table12_uwcse_subset_inds(benchmark, uwcse_bundle):
+    variants = ["original", "4nf", "denormalized2"]
+    results = run_once(benchmark, _sweep_subset_inds, uwcse_bundle, variants)
+    print("\n" + format_paper_table(results, variants, "Table 12 (UW-CSE, subset INDs)"))
+
+
+def test_table12_hiv_subset_inds(benchmark, hiv_bundle):
+    variants = ["initial", "4nf1", "4nf2"]
+    results = run_once(benchmark, _sweep_subset_inds, hiv_bundle, variants)
+    print("\n" + format_paper_table(results, variants, "Table 12 (HIV, subset INDs)"))
+
+
+def test_table12_imdb_subset_inds(benchmark, imdb_bundle):
+    variants = ["jmdb", "stanford", "denormalized"]
+    results = run_once(benchmark, _sweep_subset_inds, imdb_bundle, variants)
+    print("\n" + format_paper_table(results, variants, "Table 12 (IMDb, subset INDs)"))

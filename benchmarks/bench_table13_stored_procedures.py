@@ -1,0 +1,39 @@
+"""Table 13: impact of the stored-procedure optimization on bottom-clause construction."""
+
+from repro.castor.stored_procedures import compare_stored_procedure_modes
+
+from .conftest import run_once
+
+
+def _compare(bundle, variant):
+    return compare_stored_procedure_modes(
+        bundle.instance(variant), bundle.examples.positives, bundle.schema(variant)
+    )
+
+
+def test_table13_hiv(benchmark, hiv_bundle):
+    result = run_once(benchmark, _compare, hiv_bundle, "initial")
+    print(
+        f"\nTable 13 (HIV): with SP {result['with_stored_procedures_seconds']:.3f}s, "
+        f"without SP {result['without_stored_procedures_seconds']:.3f}s, "
+        f"speedup {result['speedup']:.2f}x"
+    )
+    assert result["speedup"] > 0
+
+
+def test_table13_imdb(benchmark, imdb_bundle):
+    result = run_once(benchmark, _compare, imdb_bundle, "jmdb")
+    print(
+        f"\nTable 13 (IMDb): with SP {result['with_stored_procedures_seconds']:.3f}s, "
+        f"without SP {result['without_stored_procedures_seconds']:.3f}s, "
+        f"speedup {result['speedup']:.2f}x"
+    )
+
+
+def test_table13_uwcse(benchmark, uwcse_bundle):
+    result = run_once(benchmark, _compare, uwcse_bundle, "original")
+    print(
+        f"\nTable 13 (UW-CSE): with SP {result['with_stored_procedures_seconds']:.3f}s, "
+        f"without SP {result['without_stored_procedures_seconds']:.3f}s, "
+        f"speedup {result['speedup']:.2f}x"
+    )

@@ -1,0 +1,39 @@
+"""Table 9: HIV — precision/recall/time per learner over Initial / 4NF-1 / 4NF-2."""
+
+from repro.experiments.harness import run_schema_sweep
+from repro.experiments.reporting import format_paper_table
+from repro.experiments.tables import aleph_foil_spec, aleph_progol_spec, castor_spec
+
+from .conftest import run_once
+
+VARIANTS = ["initial", "4nf1", "4nf2"]
+
+
+def _sweep(bundle, specs):
+    return run_schema_sweep(bundle, specs, variants=VARIANTS, folds=1, seed=0)
+
+
+def test_table9_hiv2k4k_castor(benchmark, hiv_bundle):
+    results = run_once(benchmark, _sweep, hiv_bundle, [castor_spec()])
+    print("\n" + format_paper_table(results, VARIANTS, "Table 9 (Castor) — HIV-2K4K stand-in"))
+
+
+def test_table9_hiv2k4k_aleph_foil(benchmark, hiv_bundle):
+    results = run_once(
+        benchmark, _sweep, hiv_bundle, [aleph_foil_spec(clause_length=10, name="Aleph-FOIL")]
+    )
+    print("\n" + format_paper_table(results, VARIANTS, "Table 9 (Aleph-FOIL) — HIV-2K4K stand-in"))
+
+
+def test_table9_hiv2k4k_aleph_progol(benchmark, hiv_bundle):
+    results = run_once(
+        benchmark, _sweep, hiv_bundle, [aleph_progol_spec(clause_length=10, name="Aleph-Progol")]
+    )
+    print(
+        "\n" + format_paper_table(results, VARIANTS, "Table 9 (Aleph-Progol) — HIV-2K4K stand-in")
+    )
+
+
+def test_table9_hivlarge_castor(benchmark, hiv_large_bundle):
+    results = run_once(benchmark, _sweep, hiv_large_bundle, [castor_spec()])
+    print("\n" + format_paper_table(results, VARIANTS, "Table 9 (Castor) — HIV-Large stand-in"))

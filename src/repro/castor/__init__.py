@@ -1,0 +1,36 @@
+"""Castor: the schema-independent relational learner (the paper's contribution)."""
+
+from .armg import IndConsistencyEnforcer, castor_armg
+from .bottom_clause import CastorBottomClauseBuilder, CastorBottomClauseConfig
+from .castor import (
+    CastorClauseLearner,
+    CastorCoverageEngine,
+    CastorLearner,
+    CastorParameters,
+)
+from .inclusion_instances import (
+    InclusionInstance,
+    compute_inclusion_instances,
+    head_connecting_instances,
+    literals_satisfy_ind,
+)
+from .reduction import NegativeReducer
+from .stored_procedures import StoredProcedureRunner, compare_stored_procedure_modes
+
+__all__ = [
+    "CastorBottomClauseBuilder",
+    "CastorBottomClauseConfig",
+    "CastorClauseLearner",
+    "CastorCoverageEngine",
+    "CastorLearner",
+    "CastorParameters",
+    "InclusionInstance",
+    "IndConsistencyEnforcer",
+    "NegativeReducer",
+    "StoredProcedureRunner",
+    "castor_armg",
+    "compare_stored_procedure_modes",
+    "compute_inclusion_instances",
+    "head_connecting_instances",
+    "literals_satisfy_ind",
+]

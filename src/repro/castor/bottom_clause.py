@@ -1,0 +1,243 @@
+"""Castor's IND-aware bottom-clause construction (Section 7.1).
+
+The standard bottom-clause algorithm adds one literal per database tuple that
+mentions a known constant.  Castor additionally *chases inclusion
+dependencies*: when a tuple of relation ``Si`` (member of an inclusion class
+``N``) is added, Castor follows every IND ``Sj[X] = Si[X]`` of ``N`` and adds
+the joining tuples of ``Sj`` as well, recursively until the INDs of the class
+are exhausted.  This makes the bottom clauses over a composed schema and its
+decomposition equivalent (Lemma 7.5), which is the first ingredient of
+Castor's schema independence.
+
+The stopping condition is Castor's variable-budget rule: stop iterating once
+the clause has a given number of *distinct variables* (equivalent clauses
+over (de)compositions have the same number of distinct variables, unlike
+clause depth or length).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..database.constraints import InclusionDependency
+from ..database.instance import DatabaseInstance
+from ..database.schema import Schema
+from ..learning.bottom_clause import BottomClauseConfig, compute_theory_constants
+from ..learning.examples import Example
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause
+from ..logic.terms import Constant, Term, Variable
+
+
+class CastorBottomClauseConfig(BottomClauseConfig):
+    """Bottom-clause limits plus Castor-specific IND options.
+
+    ``max_joining_tuples_per_ind`` is the cap on how many tuples of the other
+    side of an IND may be pulled in for a single tuple (the paper uses 10).
+    ``use_subset_inds`` enables the Section 7.4 extension where general
+    (subset-form) INDs are chased as well.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = 3,
+        max_distinct_variables: Optional[int] = 15,
+        max_literals_per_relation_per_tuple: int = 5,
+        max_total_literals: int = 100,
+        max_joining_tuples_per_ind: int = 10,
+        use_subset_inds: bool = False,
+    ):
+        super().__init__(
+            max_depth=max_depth,
+            max_distinct_variables=max_distinct_variables,
+            max_literals_per_relation_per_tuple=max_literals_per_relation_per_tuple,
+            max_total_literals=max_total_literals,
+        )
+        self.max_joining_tuples_per_ind = int(max_joining_tuples_per_ind)
+        self.use_subset_inds = bool(use_subset_inds)
+
+
+class CastorBottomClauseBuilder:
+    """Construct IND-aware bottom clauses and saturations.
+
+    The builder pre-computes, per relation, the list of INDs to chase (those
+    of the relation's inclusion class), so the per-example construction only
+    performs indexed lookups.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        schema: Optional[Schema] = None,
+        config: Optional[CastorBottomClauseConfig] = None,
+    ):
+        self.instance = instance
+        self.schema = schema or instance.schema
+        self.config = config or CastorBottomClauseConfig()
+        self.theory_constants = compute_theory_constants(
+            instance, getattr(self.config, "theory_constant_threshold", 12), self.schema
+        )
+        self._inds_by_relation: Dict[str, List[InclusionDependency]] = {}
+        self._prepare_inclusion_metadata()
+
+    # ------------------------------------------------------------------ #
+    # Metadata preparation (the "stored procedure" compilation step)
+    # ------------------------------------------------------------------ #
+    def _prepare_inclusion_metadata(self) -> None:
+        include_subset = self.config.use_subset_inds
+        for inclusion_class in self.schema.inclusion_classes(include_subset):
+            if len(inclusion_class) < 2:
+                continue
+            for relation in inclusion_class.members:
+                inds = inclusion_class.inds_for(relation)
+                self._inds_by_relation.setdefault(relation, []).extend(inds)
+
+    def inds_for(self, relation: str) -> List[InclusionDependency]:
+        """INDs Castor chases when a tuple of ``relation`` enters the clause."""
+        return self._inds_by_relation.get(relation, [])
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def build(self, example: Example) -> HornClause:
+        """Variablized IND-aware bottom clause for ``example``."""
+        return self._construct(example, variablize=True)
+
+    def build_ground(self, example: Example) -> HornClause:
+        """Ground IND-aware bottom clause (saturation) for ``example``."""
+        return self._construct(example, variablize=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _construct(self, example: Example, variablize: bool) -> HornClause:
+        variable_of: Dict[object, Variable] = {}
+        example_values = set(example.values)
+
+        def term_for(value: object) -> Term:
+            # Example values are always variablized so the clause generalizes
+            # over the target's arguments; other theory constants stay ground.
+            if not variablize or (
+                value in self.theory_constants and value not in example_values
+            ):
+                return Constant(value)
+            existing = variable_of.get(value)
+            if existing is None:
+                existing = Variable(f"v{len(variable_of)}")
+                variable_of[value] = existing
+            return existing
+
+        head = Atom(example.target, [term_for(v) for v in example.values])
+        body: List[Atom] = []
+        seen_rows: Set[Tuple[str, Tuple[object, ...]]] = set()
+        known_constants: Set[object] = set(example.values)
+        frontier: Set[object] = set(example.values)
+        depth = 0
+
+        while frontier:
+            if self.config.max_depth is not None and depth >= self.config.max_depth:
+                break
+            if self._variable_budget_reached(variable_of, known_constants, variablize):
+                break
+            next_frontier: Set[object] = set()
+            for constant in sorted(frontier, key=str):
+                per_relation_counts: Dict[str, int] = {}
+                for relation_name, row in sorted(
+                    self.instance.tuples_containing(constant),
+                    key=lambda pair: (pair[0], tuple(map(str, pair[1]))),
+                ):
+                    if len(body) >= self.config.max_total_literals:
+                        break
+                    if (relation_name, row) in seen_rows:
+                        continue
+                    count = per_relation_counts.get(relation_name, 0)
+                    if count >= self.config.max_literals_per_relation_per_tuple:
+                        continue
+                    per_relation_counts[relation_name] = count + 1
+                    self._add_tuple_with_ind_chase(
+                        relation_name,
+                        row,
+                        body,
+                        seen_rows,
+                        known_constants,
+                        next_frontier,
+                        term_for,
+                    )
+                if len(body) >= self.config.max_total_literals:
+                    break
+            frontier = next_frontier
+            depth += 1
+
+        return HornClause(head, body)
+
+    def _add_tuple_with_ind_chase(
+        self,
+        relation_name: str,
+        row: Tuple[object, ...],
+        body: List[Atom],
+        seen_rows: Set[Tuple[str, Tuple[object, ...]]],
+        known_constants: Set[object],
+        next_frontier: Set[object],
+        term_for,
+    ) -> None:
+        """Add one tuple's literal and chase the INDs of its inclusion class."""
+        pending: List[Tuple[str, Tuple[object, ...]]] = [(relation_name, row)]
+        while pending:
+            current_relation, current_row = pending.pop(0)
+            key = (current_relation, current_row)
+            if key in seen_rows:
+                continue
+            if len(body) >= self.config.max_total_literals:
+                return
+            seen_rows.add(key)
+            body.append(Atom(current_relation, [term_for(v) for v in current_row]))
+            for value in current_row:
+                if value not in known_constants:
+                    known_constants.add(value)
+                    next_frontier.add(value)
+            pending.extend(
+                self._joining_tuples(current_relation, current_row, seen_rows)
+            )
+
+    def _joining_tuples(
+        self,
+        relation_name: str,
+        row: Tuple[object, ...],
+        seen_rows: Set[Tuple[str, Tuple[object, ...]]],
+    ) -> List[Tuple[str, Tuple[object, ...]]]:
+        """Tuples of sibling relations that join with ``row`` through the class INDs."""
+        joining: List[Tuple[str, Tuple[object, ...]]] = []
+        relation_schema = self.schema.relation(relation_name)
+        for ind in self.inds_for(relation_name):
+            other_name, own_attrs, other_attrs = ind.other_side(relation_name)
+            own_positions = relation_schema.positions_of(own_attrs)
+            other_schema = self.schema.relation(other_name)
+            other_positions = other_schema.positions_of(other_attrs)
+            bindings = {
+                other_positions[i]: row[own_positions[i]] for i in range(len(own_positions))
+            }
+            other_instance = self.instance.relation(other_name)
+            matches = sorted(
+                other_instance.tuples_matching(bindings), key=lambda r: tuple(map(str, r))
+            )
+            added = 0
+            for match in matches:
+                if (other_name, match) in seen_rows:
+                    continue
+                joining.append((other_name, match))
+                added += 1
+                if added >= self.config.max_joining_tuples_per_ind:
+                    break
+        return joining
+
+    def _variable_budget_reached(
+        self,
+        variable_of: Dict[object, Variable],
+        known_constants: Set[object],
+        variablize: bool,
+    ) -> bool:
+        budget = self.config.max_distinct_variables
+        if budget is None:
+            return False
+        count = len(variable_of) if variablize else len(known_constants)
+        return count >= budget

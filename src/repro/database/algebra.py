@@ -1,0 +1,137 @@
+"""Relational algebra over named-attribute rows.
+
+Decomposition and composition (Section 4) are expressed with projection and
+natural join, so this module provides those operators over *named rows*
+(dictionaries from attribute name to value), independent of any particular
+relation instance.  The natural join here is the multi-way join used to
+reconstruct a composed relation from its decomposed parts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .instance import RelationInstance
+from .schema import RelationSchema
+
+NamedRow = Tuple[Tuple[str, object], ...]
+
+
+def named_rows(instance: RelationInstance) -> List[Dict[str, object]]:
+    """Convert a relation instance into a list of attribute->value dicts."""
+    attributes = instance.schema.attributes
+    return [dict(zip(attributes, row)) for row in instance.rows]
+
+
+def project_rows(
+    rows: Iterable[Dict[str, object]], attributes: Sequence[str]
+) -> List[Dict[str, object]]:
+    """Project named rows onto ``attributes`` with duplicate elimination."""
+    seen: Set[NamedRow] = set()
+    result: List[Dict[str, object]] = []
+    for row in rows:
+        projected = {a: row[a] for a in attributes}
+        key = tuple(sorted(projected.items(), key=lambda kv: kv[0]))
+        if key not in seen:
+            seen.add(key)
+            result.append(projected)
+    return result
+
+
+def select_rows(
+    rows: Iterable[Dict[str, object]], conditions: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Select rows where every ``attribute == value`` condition holds."""
+    return [
+        row for row in rows if all(row.get(a) == v for a, v in conditions.items())
+    ]
+
+
+def natural_join_rows(
+    left: Iterable[Dict[str, object]], right: Iterable[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Natural join of two collections of named rows.
+
+    Joins on all shared attribute names.  When there are no shared attributes
+    the result is the Cartesian product — callers that need the paper's
+    restriction (at least one common attribute, Definition 4.1) must check
+    before calling.
+    """
+    left_rows = list(left)
+    right_rows = list(right)
+    if not left_rows or not right_rows:
+        return []
+    shared = sorted(set(left_rows[0]) & set(right_rows[0]))
+    index: Dict[Tuple[object, ...], List[Dict[str, object]]] = {}
+    for row in right_rows:
+        key = tuple(row[a] for a in shared)
+        index.setdefault(key, []).append(row)
+    joined: List[Dict[str, object]] = []
+    for row in left_rows:
+        key = tuple(row[a] for a in shared)
+        for match in index.get(key, []):
+            combined = dict(match)
+            combined.update(row)
+            joined.append(combined)
+    return joined
+
+
+def natural_join_many(
+    row_sets: Sequence[Iterable[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Left-fold natural join over several collections of named rows."""
+    row_sets = [list(rows) for rows in row_sets]
+    if not row_sets:
+        return []
+    result = row_sets[0]
+    for rows in row_sets[1:]:
+        result = natural_join_rows(result, rows)
+    return result
+
+
+def rows_to_tuples(
+    rows: Iterable[Dict[str, object]], schema: RelationSchema
+) -> List[Tuple[object, ...]]:
+    """Serialize named rows to positional tuples for ``schema``."""
+    return [tuple(row[a] for a in schema.attributes) for row in rows]
+
+
+def join_is_globally_consistent(
+    instances: Sequence[RelationInstance],
+) -> bool:
+    """Check global consistency of the natural join of ``instances``.
+
+    The join is globally consistent when projecting the full join back onto
+    each relation's attributes recovers exactly that relation — i.e. no
+    relation has a dangling tuple with respect to the join (Section 4).
+    """
+    joined = natural_join_many([named_rows(instance) for instance in instances])
+    for instance in instances:
+        projected = {
+            tuple(row[a] for a in instance.schema.attributes) for row in joined
+        }
+        if projected != instance.rows:
+            return False
+    return True
+
+
+def join_is_pairwise_consistent(instances: Sequence[RelationInstance]) -> bool:
+    """Check pairwise consistency: no relation loses tuples joining with another.
+
+    Only pairs that share at least one attribute are checked, matching the
+    natural-join restriction of Definition 4.1.
+    """
+    for i, left in enumerate(instances):
+        for j, right in enumerate(instances):
+            if i == j:
+                continue
+            shared = left.schema.shares_attributes_with(right.schema)
+            if not shared:
+                continue
+            joined = natural_join_rows(named_rows(left), named_rows(right))
+            projected = {
+                tuple(row[a] for a in left.schema.attributes) for row in joined
+            }
+            if projected != left.rows:
+                return False
+    return True

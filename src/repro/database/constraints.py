@@ -1,0 +1,255 @@
+"""Schema constraints: functional dependencies and inclusion dependencies.
+
+Inclusion dependencies (INDs) are the constraint class Castor integrates into
+learning.  An IND ``R[X] ⊆ S[Y]`` states that the projection of ``R`` on
+attributes ``X`` is contained in the projection of ``S`` on ``Y``; when the
+containment holds in both directions the paper writes ``R[X] = S[Y]`` and
+calls it an *IND with equality*.  Inclusion classes (Definition 7.1) group
+relations connected by INDs with equality over their shared attributes; they
+drive Castor's bottom-clause construction, ARMG, and negative reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+class FunctionalDependency:
+    """A functional dependency ``relation: lhs -> rhs``."""
+
+    __slots__ = ("relation", "lhs", "rhs")
+
+    def __init__(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]):
+        self.relation = str(relation)
+        self.lhs: Tuple[str, ...] = tuple(lhs)
+        self.rhs: Tuple[str, ...] = tuple(rhs)
+        if not self.lhs or not self.rhs:
+            raise ValueError("functional dependency needs non-empty sides")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionalDependency)
+            and other.relation == self.relation
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"FunctionalDependency({self.relation!r}, {self.lhs!r}, {self.rhs!r})"
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {','.join(self.lhs)} -> {','.join(self.rhs)}"
+
+
+class InclusionDependency:
+    """An inclusion dependency ``left[left_attrs] ⊆ right[right_attrs]``.
+
+    ``with_equality=True`` marks the paper's IND-with-equality form
+    ``left[X] = right[Y]`` (both containments hold).
+    """
+
+    __slots__ = ("left", "left_attrs", "right", "right_attrs", "with_equality")
+
+    def __init__(
+        self,
+        left: str,
+        left_attrs: Sequence[str],
+        right: str,
+        right_attrs: Sequence[str],
+        with_equality: bool = False,
+    ):
+        self.left = str(left)
+        self.right = str(right)
+        self.left_attrs: Tuple[str, ...] = tuple(left_attrs)
+        self.right_attrs: Tuple[str, ...] = tuple(right_attrs)
+        self.with_equality = bool(with_equality)
+        if len(self.left_attrs) != len(self.right_attrs):
+            raise ValueError("IND attribute lists must have equal length")
+        if not self.left_attrs:
+            raise ValueError("IND needs at least one attribute")
+
+    # ------------------------------------------------------------------ #
+    def reversed(self) -> "InclusionDependency":
+        """The IND with left and right swapped (same equality flag)."""
+        return InclusionDependency(
+            self.right, self.right_attrs, self.left, self.left_attrs, self.with_equality
+        )
+
+    def involves(self, relation: str) -> bool:
+        """True when ``relation`` appears on either side."""
+        return relation in (self.left, self.right)
+
+    def other_side(self, relation: str) -> Tuple[str, Tuple[str, ...], Tuple[str, ...]]:
+        """Given one side's relation name, return (other relation, this side's attrs, other side's attrs)."""
+        if relation == self.left:
+            return self.right, self.left_attrs, self.right_attrs
+        if relation == self.right:
+            return self.left, self.right_attrs, self.left_attrs
+        raise ValueError(f"relation {relation!r} not part of this IND")
+
+    def as_subset(self) -> "InclusionDependency":
+        """Return a copy with the equality flag cleared (general/subset form)."""
+        return InclusionDependency(
+            self.left, self.left_attrs, self.right, self.right_attrs, with_equality=False
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InclusionDependency)
+            and other.left == self.left
+            and other.right == self.right
+            and other.left_attrs == self.left_attrs
+            and other.right_attrs == self.right_attrs
+            and other.with_equality == self.with_equality
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.left, self.left_attrs, self.right, self.right_attrs, self.with_equality)
+        )
+
+    def __repr__(self) -> str:
+        op = "=" if self.with_equality else "⊆"
+        return (
+            f"InclusionDependency({self.left}[{','.join(self.left_attrs)}] {op} "
+            f"{self.right}[{','.join(self.right_attrs)}])"
+        )
+
+    def __str__(self) -> str:
+        op = "=" if self.with_equality else "<="
+        return (
+            f"{self.left}[{','.join(self.left_attrs)}] {op} "
+            f"{self.right}[{','.join(self.right_attrs)}]"
+        )
+
+
+class InclusionClass:
+    """A maximal set of relations connected by INDs with equality (Definition 7.1).
+
+    The class stores the member relation names and the connecting INDs so
+    Castor can walk from a tuple of one member to the joining tuples of the
+    other members during bottom-clause construction.
+    """
+
+    __slots__ = ("members", "inds")
+
+    def __init__(self, members: Iterable[str], inds: Iterable[InclusionDependency]):
+        self.members: FrozenSet[str] = frozenset(members)
+        self.inds: Tuple[InclusionDependency, ...] = tuple(inds)
+
+    def contains(self, relation: str) -> bool:
+        return relation in self.members
+
+    def inds_for(self, relation: str) -> List[InclusionDependency]:
+        """INDs of this class that involve ``relation``."""
+        return [ind for ind in self.inds if ind.involves(relation)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InclusionClass) and other.members == self.members
+
+    def __hash__(self) -> int:
+        return hash(self.members)
+
+    def __repr__(self) -> str:
+        return f"InclusionClass({sorted(self.members)!r})"
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def compute_inclusion_classes(
+    relations: Iterable[str],
+    inds: Iterable[InclusionDependency],
+    include_subset_inds: bool = False,
+) -> List[InclusionClass]:
+    """Partition relations into inclusion classes.
+
+    By default only INDs *with equality* connect relations (Definition 7.1).
+    With ``include_subset_inds=True`` subset-form INDs connect as well — this
+    is the extension of Section 7.4 used for general decomposition/
+    composition.  Relations not connected to any other relation form
+    singleton classes with no INDs.
+    """
+    relation_list = list(dict.fromkeys(relations))
+    parent: Dict[str, str] = {name: name for name in relation_list}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    usable_inds: List[InclusionDependency] = []
+    for ind in inds:
+        if not ind.with_equality and not include_subset_inds:
+            continue
+        if ind.left not in parent or ind.right not in parent:
+            continue
+        usable_inds.append(ind)
+        union(ind.left, ind.right)
+
+    groups: Dict[str, Set[str]] = {}
+    for name in relation_list:
+        groups.setdefault(find(name), set()).add(name)
+
+    classes: List[InclusionClass] = []
+    for members in groups.values():
+        class_inds = [
+            ind for ind in usable_inds if ind.left in members and ind.right in members
+        ]
+        classes.append(InclusionClass(members, class_inds))
+    classes.sort(key=lambda c: sorted(c.members))
+    return classes
+
+
+def inds_are_cyclic(inds: Sequence[InclusionDependency]) -> bool:
+    """Detect cyclic INDs with equality (Definition 7.3).
+
+    A set of INDs with equality is cyclic when a sequence of INDs returns to
+    the starting relation while switching join attributes along the way.  We
+    detect this by building an undirected multigraph whose edges are labeled
+    by the join attribute sets and looking for a cycle that uses at least two
+    distinct labels — which is the situation that would force Castor to scan
+    many tuples (Section 7.1).
+    """
+    edges: List[Tuple[str, str, FrozenSet[str]]] = []
+    for ind in inds:
+        if not ind.with_equality:
+            continue
+        edges.append((ind.left, ind.right, frozenset(ind.left_attrs)))
+
+    adjacency: Dict[str, List[Tuple[str, FrozenSet[str], int]]] = {}
+    for index, (left, right, label) in enumerate(edges):
+        adjacency.setdefault(left, []).append((right, label, index))
+        adjacency.setdefault(right, []).append((left, label, index))
+
+    visited: Set[str] = set()
+    for start in adjacency:
+        if start in visited:
+            continue
+        # DFS keeping the edge we arrived by; a back edge to an ancestor forms
+        # a cycle, which is "cyclic" in the paper's sense when labels differ.
+        stack: List[Tuple[str, int, List[FrozenSet[str]]]] = [(start, -1, [])]
+        ancestors: Dict[str, List[FrozenSet[str]]] = {}
+        while stack:
+            node, via_edge, labels = stack.pop()
+            if node in ancestors:
+                cycle_labels = set(labels) | set(ancestors[node])
+                if len(cycle_labels) > 1:
+                    return True
+                continue
+            ancestors[node] = labels
+            visited.add(node)
+            for neighbor, label, edge_index in adjacency.get(node, []):
+                if edge_index == via_edge:
+                    continue
+                stack.append((neighbor, edge_index, labels + [label]))
+    return False

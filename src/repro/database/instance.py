@@ -1,0 +1,258 @@
+"""Relation and database instances with hash indexes.
+
+This module plays the role of the in-memory RDBMS (VoltDB in the paper): it
+stores tuples, maintains hash indexes from constants to tuples so that
+bottom-clause construction can find "all tuples containing constant ``a``" in
+O(1) per tuple, and checks FDs/INDs on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .constraints import FunctionalDependency, InclusionDependency
+from .schema import RelationSchema, Schema
+
+Row = Tuple[object, ...]
+
+
+class RelationInstance:
+    """The extension of a single relation: a set of tuples plus indexes.
+
+    Tuples are plain Python tuples of values positionally aligned with the
+    relation schema's attributes.  Two indexes are maintained:
+
+    * ``value -> positions`` index: for each value appearing anywhere in the
+      relation, the set of tuples containing it (used by bottom-clause
+      construction, which looks tuples up by constant regardless of column);
+    * ``(position, value) -> tuples`` index: used by joins and IND walks.
+    """
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[object]] = ()):
+        self.schema = schema
+        self._rows: Set[Row] = set()
+        self._by_value: Dict[object, Set[Row]] = {}
+        self._by_position_value: Dict[Tuple[int, object], Set[Row]] = {}
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, row: Sequence[object]) -> None:
+        """Insert a tuple; silently ignores exact duplicates."""
+        row_tuple: Row = tuple(row)
+        if len(row_tuple) != self.schema.arity:
+            raise ValueError(
+                f"tuple arity {len(row_tuple)} does not match relation "
+                f"{self.schema.name!r} arity {self.schema.arity}"
+            )
+        if row_tuple in self._rows:
+            return
+        self._rows.add(row_tuple)
+        for position, value in enumerate(row_tuple):
+            self._by_value.setdefault(value, set()).add(row_tuple)
+            self._by_position_value.setdefault((position, value), set()).add(row_tuple)
+
+    def add_all(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add(row)
+
+    def remove(self, row: Sequence[object]) -> None:
+        """Delete a tuple; raises KeyError if absent."""
+        row_tuple: Row = tuple(row)
+        if row_tuple not in self._rows:
+            raise KeyError(f"tuple {row_tuple!r} not in relation {self.schema.name!r}")
+        self._rows.discard(row_tuple)
+        for position, value in enumerate(row_tuple):
+            self._by_value.get(value, set()).discard(row_tuple)
+            self._by_position_value.get((position, value), set()).discard(row_tuple)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> Set[Row]:
+        """The set of tuples (do not mutate)."""
+        return self._rows
+
+    def tuples_containing(self, value: object) -> Set[Row]:
+        """All tuples mentioning ``value`` in any column."""
+        return self._by_value.get(value, set())
+
+    def tuples_with(self, position: int, value: object) -> Set[Row]:
+        """All tuples with ``value`` in column ``position``."""
+        return self._by_position_value.get((position, value), set())
+
+    def tuples_matching(self, bindings: Dict[int, object]) -> Set[Row]:
+        """Tuples matching all ``position -> value`` bindings (index-accelerated)."""
+        if not bindings:
+            return set(self._rows)
+        candidate_sets = [
+            self.tuples_with(position, value) for position, value in bindings.items()
+        ]
+        candidate_sets.sort(key=len)
+        result = set(candidate_sets[0])
+        for candidates in candidate_sets[1:]:
+            result &= candidates
+            if not result:
+                break
+        return result
+
+    def project(self, attributes: Sequence[str]) -> Set[Tuple[object, ...]]:
+        """Projection π_attributes of this relation (as a set of tuples)."""
+        positions = self.schema.positions_of(attributes)
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    def distinct_values(self, attribute: str) -> Set[object]:
+        """Distinct values of one attribute."""
+        position = self.schema.position_of(attribute)
+        return {row[position] for row in self._rows}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationInstance)
+            and other.schema == self.schema
+            and other._rows == self._rows
+        )
+
+    def __repr__(self) -> str:
+        return f"RelationInstance({self.schema.name!r}, {len(self)} tuples)"
+
+
+class DatabaseInstance:
+    """An instance of a schema: one relation instance per relation symbol."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._relations: Dict[str, RelationInstance] = {
+            relation.name: RelationInstance(relation) for relation in schema.relations
+        }
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> RelationInstance:
+        """The instance of relation ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise KeyError(f"relation {name!r} not in instance") from exc
+
+    def relations(self) -> List[RelationInstance]:
+        return list(self._relations.values())
+
+    def add_tuple(self, relation: str, row: Sequence[object]) -> None:
+        """Insert a tuple into a relation."""
+        self.relation(relation).add(row)
+
+    def add_tuples(self, relation: str, rows: Iterable[Sequence[object]]) -> None:
+        self.relation(relation).add_all(rows)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations (the paper's #T)."""
+        return sum(len(instance) for instance in self._relations.values())
+
+    def tuples_containing(self, value: object) -> List[Tuple[str, Row]]:
+        """All (relation name, tuple) pairs where the tuple mentions ``value``."""
+        found: List[Tuple[str, Row]] = []
+        for name, instance in self._relations.items():
+            for row in instance.tuples_containing(value):
+                found.append((name, row))
+        return found
+
+    # ------------------------------------------------------------------ #
+    # Constraint checking
+    # ------------------------------------------------------------------ #
+    def satisfies_fd(self, fd: FunctionalDependency) -> bool:
+        """Check a functional dependency against the stored tuples."""
+        instance = self.relation(fd.relation)
+        lhs_positions = instance.schema.positions_of(fd.lhs)
+        rhs_positions = instance.schema.positions_of(fd.rhs)
+        seen: Dict[Tuple[object, ...], Tuple[object, ...]] = {}
+        for row in instance:
+            key = tuple(row[p] for p in lhs_positions)
+            value = tuple(row[p] for p in rhs_positions)
+            if key in seen and seen[key] != value:
+                return False
+            seen[key] = value
+        return True
+
+    def satisfies_ind(self, ind: InclusionDependency) -> bool:
+        """Check an inclusion dependency (both directions when with_equality)."""
+        left_projection = self.relation(ind.left).project(ind.left_attrs)
+        right_projection = self.relation(ind.right).project(ind.right_attrs)
+        if not left_projection <= right_projection:
+            return False
+        if ind.with_equality and not right_projection <= left_projection:
+            return False
+        return True
+
+    def ind_holds_with_equality(self, ind: InclusionDependency) -> bool:
+        """True when the IND holds as an equality on this instance.
+
+        This is the preprocessing check of Section 7.4: a subset-form IND that
+        happens to hold with equality on the current instance can be promoted
+        and used by Castor exactly like an IND with equality.
+        """
+        left_projection = self.relation(ind.left).project(ind.left_attrs)
+        right_projection = self.relation(ind.right).project(ind.right_attrs)
+        return left_projection == right_projection
+
+    def satisfies_all_constraints(self) -> bool:
+        """Check every FD and IND declared by the schema."""
+        return all(
+            self.satisfies_fd(fd) for fd in self.schema.functional_dependencies
+        ) and all(
+            self.satisfies_ind(ind) for ind in self.schema.inclusion_dependencies
+        )
+
+    def violated_constraints(self) -> List[object]:
+        """Return the list of constraints that do not hold on this instance."""
+        violations: List[object] = []
+        for fd in self.schema.functional_dependencies:
+            if not self.satisfies_fd(fd):
+                violations.append(fd)
+        for ind in self.schema.inclusion_dependencies:
+            if not self.satisfies_ind(ind):
+                violations.append(ind)
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # Comparison / copying
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "DatabaseInstance":
+        """Deep-ish copy: new relation instances sharing immutable tuples."""
+        duplicate = DatabaseInstance(self.schema)
+        for name, instance in self._relations.items():
+            duplicate.add_tuples(name, instance.rows)
+        return duplicate
+
+    def same_contents(self, other: "DatabaseInstance") -> bool:
+        """True when both instances store identical tuple sets per relation name."""
+        if set(self._relations) != set(other._relations):
+            return False
+        return all(
+            self._relations[name].rows == other._relations[name].rows
+            for name in self._relations
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self.same_contents(other)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseInstance({self.schema.name!r}, {len(self._relations)} relations, "
+            f"{self.total_tuples()} tuples)"
+        )

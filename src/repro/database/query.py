@@ -1,0 +1,200 @@
+"""Conjunctive-query (Horn clause) evaluation over database instances.
+
+``evaluate_clause`` computes the result of applying a Horn clause to a
+database instance: the set of head-tuple instantiations whose body is
+satisfied by the instance (the paper's ``h_R(I)``, Section 3.2.2).  The
+evaluator is a backtracking index-nested-loop join that consults the relation
+hash indexes for every bound position, so selective constants and join
+variables prune early.
+
+The same machinery powers:
+* labeling examples from a hidden ground-truth definition (datasets),
+* definition-equivalence checks across schema transformations,
+* FOIL's coverage counts over the extensional database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause, HornDefinition
+from ..logic.terms import Constant, Term, Variable
+from .instance import DatabaseInstance
+
+Binding = Dict[Variable, object]
+
+
+class QueryEvaluator:
+    """Evaluate Horn clauses / definitions against a :class:`DatabaseInstance`."""
+
+    def __init__(self, instance: DatabaseInstance, max_results: Optional[int] = None):
+        self.instance = instance
+        self.max_results = max_results
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def evaluate_clause(self, clause: HornClause) -> Set[Tuple[object, ...]]:
+        """All head tuples produced by ``clause`` on the instance.
+
+        Unsafe clauses (head variables not bound by the body) raise
+        ``ValueError`` because their result would be infinite (Section 7.3).
+        """
+        if not clause.is_safe():
+            raise ValueError(f"cannot evaluate unsafe clause: {clause}")
+        results: Set[Tuple[object, ...]] = set()
+        for binding in self.bindings_for_body(clause.body):
+            head_tuple = tuple(
+                self._term_value(term, binding) for term in clause.head.terms
+            )
+            results.add(head_tuple)
+            if self.max_results is not None and len(results) >= self.max_results:
+                break
+        return results
+
+    def evaluate_definition(self, definition: HornDefinition) -> Set[Tuple[object, ...]]:
+        """Union of the results of every clause in the definition."""
+        results: Set[Tuple[object, ...]] = set()
+        for clause in definition:
+            results |= self.evaluate_clause(clause)
+        return results
+
+    def body_is_satisfiable(self, body: Sequence[Atom], binding: Optional[Binding] = None) -> bool:
+        """True when the body has at least one satisfying assignment."""
+        for _ in self.bindings_for_body(body, binding):
+            return True
+        return False
+
+    def clause_covers_tuple(
+        self, clause: HornClause, head_values: Sequence[object]
+    ) -> bool:
+        """True when ``clause`` derives the given head tuple on the instance.
+
+        Head variables are bound to the given values; head constants must
+        match.  This is the "does clause C cover example e" question answered
+        extensionally (as opposed to via θ-subsumption of saturations).
+        """
+        if len(head_values) != clause.head.arity:
+            return False
+        binding: Binding = {}
+        for term, value in zip(clause.head.terms, head_values):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return False
+            else:
+                existing = binding.get(term)
+                if existing is not None and existing != value:
+                    return False
+                binding[term] = value
+        return self.body_is_satisfiable(clause.body, binding)
+
+    def definition_covers_tuple(
+        self, definition: HornDefinition, head_values: Sequence[object]
+    ) -> bool:
+        """True when any clause of the definition derives the head tuple."""
+        return any(
+            self.clause_covers_tuple(clause, head_values) for clause in definition
+        )
+
+    def count_bindings(self, body: Sequence[Atom], limit: Optional[int] = None) -> int:
+        """Number of satisfying assignments of the body (used by FOIL's gain)."""
+        count = 0
+        for _ in self.bindings_for_body(body):
+            count += 1
+            if limit is not None and count >= limit:
+                break
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Core join
+    # ------------------------------------------------------------------ #
+    def bindings_for_body(
+        self, body: Sequence[Atom], initial: Optional[Binding] = None
+    ) -> Iterator[Binding]:
+        """Generate all variable bindings satisfying every body atom.
+
+        Atoms are evaluated in an order chosen greedily: at each step the atom
+        with the most bound arguments (and smallest relation as tie-break) is
+        evaluated next, which keeps intermediate result sizes small.
+        """
+        remaining = list(body)
+        order = self._plan(remaining, set((initial or {}).keys()))
+        yield from self._join(order, 0, dict(initial or {}))
+
+    def _plan(self, body: List[Atom], bound: Set[Variable]) -> List[Atom]:
+        """Greedy join ordering: most-bound, smallest-relation atom first."""
+        remaining = list(body)
+        ordered: List[Atom] = []
+        bound_vars = set(bound)
+        while remaining:
+            def score(atom: Atom) -> Tuple[int, int]:
+                atom_vars = atom.variables()
+                unbound = sum(1 for v in atom_vars if v not in bound_vars)
+                try:
+                    relation_size = len(self.instance.relation(atom.predicate))
+                except KeyError:
+                    relation_size = 0
+                return (unbound, relation_size)
+
+            best = min(remaining, key=score)
+            remaining.remove(best)
+            ordered.append(best)
+            bound_vars |= set(best.variables())
+        return ordered
+
+    def _join(
+        self, body: List[Atom], position: int, binding: Binding
+    ) -> Iterator[Binding]:
+        if position == len(body):
+            yield dict(binding)
+            return
+        atom = body[position]
+        try:
+            relation = self.instance.relation(atom.predicate)
+        except KeyError:
+            return
+        if relation.schema.arity != atom.arity:
+            return
+        positional_constraints: Dict[int, object] = {}
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                positional_constraints[index] = term.value
+            elif term in binding:
+                positional_constraints[index] = binding[term]
+        for row in relation.tuples_matching(positional_constraints):
+            extended = dict(binding)
+            consistent = True
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    existing = extended.get(term)
+                    if existing is None:
+                        extended[term] = row[index]
+                    elif existing != row[index]:
+                        consistent = False
+                        break
+            if consistent:
+                yield from self._join(body, position + 1, extended)
+
+    @staticmethod
+    def _term_value(term: Term, binding: Binding) -> object:
+        if isinstance(term, Constant):
+            return term.value
+        value = binding.get(term)
+        if value is None and term not in binding:
+            raise KeyError(f"unbound head variable {term}")
+        return value
+
+
+def evaluate_definition(
+    instance: DatabaseInstance, definition: HornDefinition
+) -> Set[Tuple[object, ...]]:
+    """Convenience wrapper: result of a definition on an instance."""
+    return QueryEvaluator(instance).evaluate_definition(definition)
+
+
+def evaluate_clause(
+    instance: DatabaseInstance, clause: HornClause
+) -> Set[Tuple[object, ...]]:
+    """Convenience wrapper: result of a single clause on an instance."""
+    return QueryEvaluator(instance).evaluate_clause(clause)

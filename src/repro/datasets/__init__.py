@@ -1,0 +1,13 @@
+"""Synthetic datasets with schema variants: UW-CSE, HIV, IMDb."""
+
+from . import hiv, imdb, uwcse
+from .base import DatasetBundle, SchemaVariant, base_variant
+
+__all__ = [
+    "DatasetBundle",
+    "SchemaVariant",
+    "base_variant",
+    "hiv",
+    "imdb",
+    "uwcse",
+]

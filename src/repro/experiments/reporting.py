@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import VariantResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(columns))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def results_as_matrix(
+    results: Sequence[VariantResult], metric: str = "precision"
+) -> Dict[str, Dict[str, float]]:
+    """Pivot VariantResults into ``{learner: {variant: metric}}``."""
+    matrix: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        matrix.setdefault(result.learner, {})[result.variant] = getattr(result, metric)
+    return matrix
+
+
+def format_paper_table(
+    results: Sequence[VariantResult],
+    variants: Sequence[str],
+    title: str,
+    metrics: Sequence[str] = ("precision", "recall", "time_seconds"),
+) -> str:
+    """Render results in the paper's layout: one learner block, one row per metric."""
+    metric_labels = {
+        "precision": "Precision",
+        "recall": "Recall",
+        "time_seconds": "Time (s)",
+        "f1": "F1",
+    }
+    headers = ["Algorithm", "Metric", *variants]
+    rows: List[List[object]] = []
+    learners: List[str] = []
+    for result in results:
+        if result.learner not in learners:
+            learners.append(result.learner)
+    by_key = {(r.learner, r.variant): r for r in results}
+    for learner in learners:
+        for metric in metrics:
+            row: List[object] = [learner, metric_labels.get(metric, metric)]
+            for variant in variants:
+                result = by_key.get((learner, variant))
+                row.append(getattr(result, metric) if result is not None else "-")
+            rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_dataset_statistics(statistics: Dict[str, Dict[str, int]], title: str) -> str:
+    """Render Table 2-style dataset statistics (#relations, #tuples, #P, #N)."""
+    headers = ["Schema", "#R", "#T", "#P", "#N"]
+    rows = [
+        [
+            name,
+            stats["relations"],
+            stats["tuples"],
+            stats["positives"],
+            stats["negatives"],
+        ]
+        for name, stats in statistics.items()
+    ]
+    return format_table(headers, rows, title=title)

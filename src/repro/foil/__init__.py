@@ -1,0 +1,18 @@
+"""FOIL: greedy top-down relational learning (baseline, schema dependent)."""
+
+from .foil import FoilLearner, FoilParameters
+from .gain import coverage_score, foil_gain, information_content, laplace_accuracy, precision
+from .refinement import RefinementConfig, RefinementOperator, initial_clause
+
+__all__ = [
+    "FoilLearner",
+    "FoilParameters",
+    "RefinementConfig",
+    "RefinementOperator",
+    "coverage_score",
+    "foil_gain",
+    "information_content",
+    "initial_clause",
+    "laplace_accuracy",
+    "precision",
+]

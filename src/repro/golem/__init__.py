@@ -1,0 +1,5 @@
+"""Golem: rlgg-based bottom-up learning (baseline)."""
+
+from .golem import GolemLearner, GolemParameters
+
+__all__ = ["GolemLearner", "GolemParameters"]

@@ -1,0 +1,234 @@
+"""Standard bottom-clause construction (Section 6.1).
+
+Given a positive example ``T(a1, ..., an)`` and a database instance, the
+bottom clause is the most specific clause covering the example relative to
+the instance.  The classic algorithm (Muggleton's inverse entailment, as
+described in the paper) starts from the example's constants, repeatedly finds
+database tuples mentioning known constants, and adds one literal per tuple,
+replacing constants by variables consistently.
+
+Two stopping conditions are supported:
+
+* ``max_depth`` — the classic per-iteration depth bound (schema *dependent*,
+  Lemma 6.3);
+* ``max_distinct_variables`` — Castor's stopping condition (Section 7.1),
+  which is invariant under (de)composition because equivalent clauses over
+  composed/decomposed schemas have the same number of distinct variables.
+
+The builder can also produce *ground* bottom clauses (saturations), which the
+coverage engine θ-subsumes candidate clauses against (Section 7.5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..database.instance import DatabaseInstance
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause
+from ..logic.terms import Constant, Term, Variable
+from .examples import Example
+
+
+class BottomClauseConfig:
+    """Tunable limits for bottom-clause construction.
+
+    Attributes
+    ----------
+    max_depth:
+        Maximum iteration depth (new constants found in iteration ``i`` are
+        expanded in iteration ``i+1``).  ``None`` disables the depth bound.
+    max_distinct_variables:
+        Castor's stopping condition: stop iterating once the clause has at
+        least this many distinct variables.  ``None`` disables it.
+    max_literals_per_relation_per_tuple:
+        Cap on how many tuples of one relation may be added for a single
+        lookup constant in one iteration (the paper uses 10 for IMDb).
+    max_total_literals:
+        Hard cap on the body size, as a safety net for dense databases.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = 2,
+        max_distinct_variables: Optional[int] = None,
+        max_literals_per_relation_per_tuple: int = 5,
+        max_total_literals: int = 100,
+        theory_constant_threshold: int = 12,
+    ):
+        self.max_depth = max_depth
+        self.max_distinct_variables = max_distinct_variables
+        self.max_literals_per_relation_per_tuple = max_literals_per_relation_per_tuple
+        self.max_total_literals = max_total_literals
+        self.theory_constant_threshold = theory_constant_threshold
+
+
+def compute_theory_constants(
+    instance: DatabaseInstance, threshold: int, schema=None
+) -> Set[object]:
+    """Values of small-domain, non-key columns, kept as constants in clauses.
+
+    Classic ILP systems declare such values with ``#``-mode declarations
+    (``drama``, ``post_generals``, ``7``).  Without mode declarations the
+    builders infer them from the data.  A column qualifies when:
+
+    * it has at most ``threshold`` distinct values,
+    * it is not key-like (more than half of the rows carrying distinct values),
+    * and its attribute does not participate in any inclusion dependency —
+      IND columns are identifiers used for joins, and turning identifiers into
+      constants would pin clauses to individual entities.
+
+    Values of qualifying columns stay constants during variablization, so
+    learned clauses can express literals like ``genre(g, drama)`` or
+    ``student(x, post_generals, 5)``.
+    """
+    if threshold <= 0:
+        return set()
+    schema = schema if schema is not None else instance.schema
+    join_attributes: Set[Tuple[str, str]] = set()
+    for ind in getattr(schema, "inclusion_dependencies", []):
+        for attribute in ind.left_attrs:
+            join_attributes.add((ind.left, attribute))
+        for attribute in ind.right_attrs:
+            join_attributes.add((ind.right, attribute))
+    fd_lhs_attributes: Set[Tuple[str, str]] = set()
+    fd_rhs_attributes: Set[Tuple[str, str]] = set()
+    for fd in getattr(schema, "functional_dependencies", []):
+        for attribute in fd.lhs:
+            fd_lhs_attributes.add((fd.relation, attribute))
+        for attribute in fd.rhs:
+            fd_rhs_attributes.add((fd.relation, attribute))
+
+    theory_constants: Set[object] = set()
+    for relation in instance.relations():
+        row_count = len(relation)
+        if row_count == 0:
+            continue
+        for attribute in relation.schema.attributes:
+            key = (relation.schema.name, attribute)
+            # Join and key attributes are identifiers, never theory constants.
+            if key in join_attributes or key in fd_lhs_attributes:
+                continue
+            values = relation.distinct_values(attribute)
+            if not values or len(values) > threshold:
+                continue
+            # Near-unique columns are identifier-like unless the schema says
+            # they are dependent attributes (FD right-hand sides) — the latter
+            # covers small lookup tables such as genre(genreid, genre).
+            if len(values) > row_count / 2 and key not in fd_rhs_attributes:
+                continue
+            theory_constants.update(values)
+    return theory_constants
+
+
+class BottomClauseBuilder:
+    """Construct bottom clauses / saturations relative to a database instance."""
+
+    def __init__(self, instance: DatabaseInstance, config: Optional[BottomClauseConfig] = None):
+        self.instance = instance
+        self.config = config or BottomClauseConfig()
+        self.theory_constants = compute_theory_constants(
+            instance, getattr(self.config, "theory_constant_threshold", 12)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def build(self, example: Example) -> HornClause:
+        """Variablized bottom clause for ``example`` (used as the search seed)."""
+        return self._construct(example, variablize=True)
+
+    def build_ground(self, example: Example) -> HornClause:
+        """Ground bottom clause (saturation) for ``example`` (used for coverage)."""
+        return self._construct(example, variablize=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _construct(self, example: Example, variablize: bool) -> HornClause:
+        variable_of: Dict[object, Variable] = {}
+        example_values = set(example.values)
+
+        def term_for(value: object) -> Term:
+            # Example values are always variablized so the clause generalizes
+            # over the target's arguments; other theory constants stay ground.
+            if not variablize or (
+                value in self.theory_constants and value not in example_values
+            ):
+                return Constant(value)
+            existing = variable_of.get(value)
+            if existing is None:
+                existing = Variable(f"v{len(variable_of)}")
+                variable_of[value] = existing
+            return existing
+
+        head = Atom(example.target, [term_for(v) for v in example.values])
+        body: List[Atom] = []
+        seen_rows: Set[Tuple[str, Tuple[object, ...]]] = set()
+        known_constants: Set[object] = set(example.values)
+        frontier: Set[object] = set(example.values)
+        depth = 0
+
+        while frontier:
+            if self.config.max_depth is not None and depth >= self.config.max_depth:
+                break
+            if self._reached_variable_budget(variable_of, known_constants, variablize):
+                break
+            next_frontier: Set[object] = set()
+            for constant in sorted(frontier, key=str):
+                per_relation_counts: Dict[str, int] = {}
+                for relation_name, row in sorted(
+                    self.instance.tuples_containing(constant),
+                    key=lambda pair: (pair[0], tuple(map(str, pair[1]))),
+                ):
+                    if len(body) >= self.config.max_total_literals:
+                        break
+                    key = (relation_name, row)
+                    if key in seen_rows:
+                        continue
+                    count = per_relation_counts.get(relation_name, 0)
+                    if count >= self.config.max_literals_per_relation_per_tuple:
+                        continue
+                    per_relation_counts[relation_name] = count + 1
+                    seen_rows.add(key)
+                    body.append(Atom(relation_name, [term_for(v) for v in row]))
+                    for value in row:
+                        if value not in known_constants:
+                            known_constants.add(value)
+                            next_frontier.add(value)
+                if len(body) >= self.config.max_total_literals:
+                    break
+            frontier = next_frontier
+            depth += 1
+
+        return HornClause(head, body)
+
+    def _reached_variable_budget(
+        self,
+        variable_of: Dict[object, Variable],
+        known_constants: Set[object],
+        variablize: bool,
+    ) -> bool:
+        budget = self.config.max_distinct_variables
+        if budget is None:
+            return False
+        count = len(variable_of) if variablize else len(known_constants)
+        return count >= budget
+
+
+def build_bottom_clause(
+    instance: DatabaseInstance,
+    example: Example,
+    config: Optional[BottomClauseConfig] = None,
+) -> HornClause:
+    """Convenience wrapper: variablized bottom clause for one example."""
+    return BottomClauseBuilder(instance, config).build(example)
+
+
+def build_saturation(
+    instance: DatabaseInstance,
+    example: Example,
+    config: Optional[BottomClauseConfig] = None,
+) -> HornClause:
+    """Convenience wrapper: ground bottom clause (saturation) for one example."""
+    return BottomClauseBuilder(instance, config).build_ground(example)

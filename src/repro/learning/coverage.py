@@ -1,0 +1,205 @@
+"""Coverage testing: does a candidate clause cover an example?
+
+Two strategies are provided, mirroring Section 7.5:
+
+* **Subsumption coverage** — a clause covers example ``e`` iff it θ-subsumes
+  the ground bottom clause of ``e``.  This is Castor's (and ProGolem's)
+  strategy; saturations are built once per example and cached.  Coverage of
+  independent examples can be tested in parallel with a thread pool, and a
+  per-(clause, example) cache plus a generality shortcut ("if C covers e then
+  any generalization of C covers e") avoids repeated work.
+* **Query coverage** — a clause covers ``e`` iff the body, with head
+  variables bound to ``e``'s values, is satisfiable in the database.  This is
+  the join-based evaluation that top-down learners with short clauses use.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..database.instance import DatabaseInstance
+from ..database.query import QueryEvaluator
+from ..logic.clauses import HornClause
+from ..logic.subsumption import GroundClauseIndex, SubsumptionEngine
+from .bottom_clause import BottomClauseBuilder, BottomClauseConfig
+from .examples import Example
+
+
+class CoverageResult:
+    """Counts of covered positive and negative examples for one clause."""
+
+    __slots__ = ("positives_covered", "negatives_covered", "covered_positive_examples")
+
+    def __init__(
+        self,
+        positives_covered: int,
+        negatives_covered: int,
+        covered_positive_examples: Optional[List[Example]] = None,
+    ):
+        self.positives_covered = positives_covered
+        self.negatives_covered = negatives_covered
+        self.covered_positive_examples = covered_positive_examples or []
+
+    def precision(self) -> float:
+        """Training precision of the clause: covered positives over all covered."""
+        total = self.positives_covered + self.negatives_covered
+        if total == 0:
+            return 0.0
+        return self.positives_covered / total
+
+    def coverage_score(self) -> int:
+        """ProGolem/Castor's default score: positives minus negatives covered."""
+        return self.positives_covered - self.negatives_covered
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageResult(+{self.positives_covered}, -{self.negatives_covered})"
+        )
+
+
+class SubsumptionCoverageEngine:
+    """θ-subsumption-based coverage with saturation caching and parallelism.
+
+    Parameters
+    ----------
+    instance:
+        The background database.
+    saturation_config:
+        Limits for ground bottom-clause construction of examples.
+    threads:
+        Number of worker threads used for coverage tests (Figure 2 studies
+        the effect of this knob); 1 means fully sequential.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        saturation_config: Optional[BottomClauseConfig] = None,
+        threads: int = 1,
+    ):
+        self.instance = instance
+        self.builder = BottomClauseBuilder(
+            instance, saturation_config or BottomClauseConfig(max_depth=3)
+        )
+        self.subsumption = SubsumptionEngine()
+        self.threads = max(1, int(threads))
+        self._saturation_cache: Dict[Example, HornClause] = {}
+        self._saturation_index_cache: Dict[Example, GroundClauseIndex] = {}
+        self._coverage_cache: Dict[Tuple[int, Example], bool] = {}
+        self._lock = threading.Lock()
+        self.coverage_tests_performed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Saturations
+    # ------------------------------------------------------------------ #
+    def saturation(self, example: Example) -> HornClause:
+        """Ground bottom clause of an example (cached)."""
+        cached = self._saturation_cache.get(example)
+        if cached is None:
+            cached = self.builder.build_ground(example)
+            self._saturation_cache[example] = cached
+        return cached
+
+    def saturation_index(self, example: Example) -> GroundClauseIndex:
+        """Hash index over the example's saturation (cached, built on demand)."""
+        cached = self._saturation_index_cache.get(example)
+        if cached is None:
+            cached = GroundClauseIndex(self.saturation(example))
+            self._saturation_index_cache[example] = cached
+        return cached
+
+    def prepare(self, examples: Iterable[Example]) -> None:
+        """Pre-build saturations for a collection of examples."""
+        for example in examples:
+            self.saturation(example)
+
+    # ------------------------------------------------------------------ #
+    # Coverage
+    # ------------------------------------------------------------------ #
+    def covers(self, clause: HornClause, example: Example, use_cache: bool = True) -> bool:
+        """True when ``clause`` covers ``example`` (θ-subsumes its saturation)."""
+        key = (id(clause), example)
+        if use_cache:
+            with self._lock:
+                cached = self._coverage_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        result = self.subsumption.covers_example(
+            clause, self.saturation(example), self.saturation_index(example)
+        )
+        with self._lock:
+            self.coverage_tests_performed += 1
+            if use_cache:
+                self._coverage_cache[key] = result
+        return result
+
+    def covered_examples(
+        self, clause: HornClause, examples: Sequence[Example]
+    ) -> List[Example]:
+        """The subset of ``examples`` covered by ``clause`` (possibly in parallel)."""
+        if self.threads == 1 or len(examples) < 4:
+            return [e for e in examples if self.covers(clause, e)]
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            flags = list(pool.map(lambda e: self.covers(clause, e), examples))
+        return [example for example, flag in zip(examples, flags) if flag]
+
+    def evaluate(
+        self,
+        clause: HornClause,
+        positives: Sequence[Example],
+        negatives: Sequence[Example],
+    ) -> CoverageResult:
+        """Coverage counts of a clause over positive and negative example lists."""
+        covered_positives = self.covered_examples(clause, positives)
+        covered_negatives = self.covered_examples(clause, negatives)
+        return CoverageResult(
+            len(covered_positives), len(covered_negatives), covered_positives
+        )
+
+    def mark_generalization_covers(
+        self, general_clause: HornClause, covered: Iterable[Example]
+    ) -> None:
+        """Record that a generalization covers everything its parent covered.
+
+        Castor's optimization (Section 7.5.4): if clause C covers e and C'' is
+        more general than C, C'' also covers e — so seed the cache instead of
+        re-testing.
+        """
+        with self._lock:
+            for example in covered:
+                self._coverage_cache[(id(general_clause), example)] = True
+
+
+class QueryCoverageEngine:
+    """Join-based coverage: bind head variables to the example and test the body."""
+
+    def __init__(self, instance: DatabaseInstance):
+        self.instance = instance
+        self.evaluator = QueryEvaluator(instance)
+        self.coverage_tests_performed = 0
+
+    def covers(self, clause: HornClause, example: Example) -> bool:
+        """True when the clause derives the example tuple from the database."""
+        self.coverage_tests_performed += 1
+        return self.evaluator.clause_covers_tuple(clause, example.values)
+
+    def covered_examples(
+        self, clause: HornClause, examples: Sequence[Example]
+    ) -> List[Example]:
+        return [e for e in examples if self.covers(clause, e)]
+
+    def evaluate(
+        self,
+        clause: HornClause,
+        positives: Sequence[Example],
+        negatives: Sequence[Example],
+    ) -> CoverageResult:
+        covered_positives = self.covered_examples(clause, positives)
+        covered_negatives = self.covered_examples(clause, negatives)
+        return CoverageResult(
+            len(covered_positives), len(covered_negatives), covered_positives
+        )

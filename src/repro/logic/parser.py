@@ -1,0 +1,154 @@
+"""Parsing and pretty-printing of Datalog atoms, clauses, and definitions.
+
+The concrete syntax mirrors what the paper prints::
+
+    advisedBy(x, y) :- publication(z, x), publication(z, y).
+    hivActive(c) :- compound(c, a), element_c(a).
+
+Tokens starting with a lowercase letter are treated as *variables* when they
+are single letters or letter+digits (``x``, ``y``, ``v12``) and as constants
+otherwise — except that anything quoted (``'post_generals'``) or numeric is
+always a constant, and an explicit uppercase first letter also denotes a
+variable (Prolog convention).  This dual convention keeps both the paper's
+examples and Prolog-style clauses parseable.  For programmatic construction
+prefer the :mod:`repro.logic.atoms` API; the parser exists for examples,
+tests, and human-readable experiment configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple, Union
+
+from .atoms import Atom
+from .clauses import HornClause, HornDefinition
+from .terms import Constant, Term, Variable
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)\s*")
+_VARIABLE_RE = re.compile(r"^[a-z][0-9]*$|^[A-Z][A-Za-z0-9_]*$")
+_NUMBER_RE = re.compile(r"^-?[0-9]+(\.[0-9]+)?$")
+
+
+class ClauseParseError(ValueError):
+    """Raised when a clause or atom string cannot be parsed."""
+
+
+def parse_term(token: str) -> Term:
+    """Parse a single term token into a Variable or Constant."""
+    token = token.strip()
+    if not token:
+        raise ClauseParseError("empty term")
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return Constant(token[1:-1])
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return Constant(token[1:-1])
+    if _NUMBER_RE.match(token):
+        if "." in token:
+            return Constant(float(token))
+        return Constant(int(token))
+    if _VARIABLE_RE.match(token):
+        return Variable(token)
+    return Constant(token)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse an atom like ``publication(z, x)``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ClauseParseError(f"cannot parse atom: {text!r}")
+    predicate, arg_text = match.group(1), match.group(2)
+    arg_text = arg_text.strip()
+    if not arg_text:
+        return Atom(predicate, [])
+    terms = [parse_term(token) for token in _split_arguments(arg_text)]
+    return Atom(predicate, terms)
+
+
+def _split_arguments(arg_text: str) -> List[str]:
+    """Split an argument list on commas, respecting quoted constants."""
+    parts: List[str] = []
+    current = []
+    in_quote = None
+    for char in arg_text:
+        if in_quote:
+            current.append(char)
+            if char == in_quote:
+                in_quote = None
+        elif char in "'\"":
+            in_quote = char
+            current.append(char)
+        elif char == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _split_body_atoms(body_text: str) -> List[str]:
+    """Split a clause body into atom strings on commas outside parentheses."""
+    atoms: List[str] = []
+    depth = 0
+    current = []
+    for char in body_text:
+        if char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            atoms.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if "".join(current).strip():
+        atoms.append("".join(current))
+    return [a.strip() for a in atoms if a.strip()]
+
+
+def parse_clause(text: str) -> HornClause:
+    """Parse a clause in ``head :- body.`` or ``head <- body.`` or fact form."""
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    separator = None
+    for candidate in (":-", "<-", "←"):
+        if candidate in text:
+            separator = candidate
+            break
+    if separator is None:
+        return HornClause(parse_atom(text), [])
+    head_text, body_text = text.split(separator, 1)
+    head = parse_atom(head_text)
+    body_text = body_text.strip()
+    if not body_text or body_text.lower() == "true":
+        return HornClause(head, [])
+    body = [parse_atom(atom_text) for atom_text in _split_body_atoms(body_text)]
+    return HornClause(head, body)
+
+
+def parse_definition(text: str, target: Union[str, None] = None) -> HornDefinition:
+    """Parse a multi-line Horn definition; blank lines and ``%`` comments ignored."""
+    clauses: List[HornClause] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            continue
+        clauses.append(parse_clause(line))
+    if not clauses:
+        raise ClauseParseError("definition contains no clauses")
+    inferred_target = target or clauses[0].head.predicate
+    return HornDefinition(inferred_target, clauses)
+
+
+def format_clause(clause: HornClause) -> str:
+    """Render a clause in the ``head :- body.`` syntax accepted by the parser."""
+    return str(clause)
+
+
+def format_definition(definition: HornDefinition) -> str:
+    """Render a definition, one clause per line."""
+    return str(definition)

@@ -1,0 +1,117 @@
+"""Terms of the first-order language: variables and constants.
+
+The relational-learning algorithms in this package manipulate Datalog
+(function-free Horn) clauses, so a term is either a :class:`Variable` or a
+:class:`Constant`.  Both are small immutable value objects that hash and
+compare by name/value, which lets higher layers use them freely as members of
+sets and dictionary keys (substitutions, variable maps, indexes).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Term:
+    """Abstract base class for logical terms."""
+
+    __slots__ = ()
+
+    def is_variable(self) -> bool:
+        """Return True when this term is a variable."""
+        raise NotImplementedError
+
+    def is_constant(self) -> bool:
+        """Return True when this term is a constant."""
+        return not self.is_variable()
+
+
+class Variable(Term):
+    """A logical variable, identified by its name.
+
+    Variable names follow the Datalog convention used throughout the paper:
+    lowercase single letters or words (``x``, ``y``, ``v12``).  Names compare
+    case-sensitively.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be a non-empty string")
+        self.name = str(name)
+
+    def is_variable(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant(Term):
+    """A constant (a database value).
+
+    The wrapped ``value`` may be a string, int, or float.  Two constants are
+    equal when their wrapped values are equal; ``Constant(1)`` and
+    ``Constant("1")`` are therefore distinct.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[str, int, float]):
+        if isinstance(value, (Variable, Constant)):
+            raise TypeError("Constant value must be a plain value, not a Term")
+        self.value = value
+
+    def is_variable(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def make_term(value: Union[Term, str, int, float]) -> Term:
+    """Coerce ``value`` into a :class:`Term`.
+
+    Strings that start with an uppercase letter or an underscore followed by
+    digits are *not* treated specially: the convention used by the parser is
+    that variables are created explicitly.  This helper simply wraps plain
+    values as constants and passes terms through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    return Constant(value)
+
+
+def fresh_variable_factory(prefix: str = "v"):
+    """Return a callable producing fresh, never-repeating variables.
+
+    The factory is used by bottom-clause construction and the lgg operator,
+    both of which must invent new variable names that do not collide with any
+    existing variable in the clause under construction.
+    """
+    counter = {"n": 0}
+
+    def fresh() -> Variable:
+        counter["n"] += 1
+        return Variable(f"{prefix}{counter['n']}")
+
+    return fresh

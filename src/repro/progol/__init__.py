@@ -1,0 +1,5 @@
+"""Progol/Aleph-style top-down learners (baselines, schema dependent)."""
+
+from .progol import AlephFoilLearner, ProgolLearner, ProgolParameters
+
+__all__ = ["AlephFoilLearner", "ProgolLearner", "ProgolParameters"]

@@ -1,0 +1,12 @@
+"""ProGolem: ARMG-based bottom-up learning (baseline, schema dependent)."""
+
+from .armg import armg, find_blocking_atom
+from .progolem import ProGolemClauseLearner, ProGolemLearner, ProGolemParameters
+
+__all__ = [
+    "ProGolemClauseLearner",
+    "ProGolemLearner",
+    "ProGolemParameters",
+    "armg",
+    "find_blocking_atom",
+]

@@ -1,0 +1,215 @@
+"""ProGolem: bottom-up learning with ARMG and beam search (Section 6.4).
+
+ProGolem's ``LearnClause``:
+
+1. build the (variablized) bottom clause of a seed positive example;
+2. repeatedly sample ``K`` positive examples, apply ARMG to every clause in
+   the current beam for each sampled example, score the resulting candidates
+   (by coverage = positives − negatives covered), and keep the best ``N`` in
+   the beam;
+3. stop when no candidate improves on the beam's best score and return the
+   best clause, negative-reduced.
+
+Negative reduction here is the plain literal-level version (drop a literal
+when doing so does not increase negative coverage); Castor replaces it with
+the inclusion-class-aware Algorithm 5.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..database.instance import DatabaseInstance
+from ..database.schema import Schema
+from ..foil.gain import precision
+from ..learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
+from ..learning.coverage import SubsumptionCoverageEngine
+from ..learning.covering import CoveringLearner, CoveringParameters
+from ..learning.examples import Example, ExampleSet
+from ..logic.clauses import HornClause, HornDefinition
+from ..logic.minimize import minimize_clause
+from .armg import armg
+
+
+class ProGolemParameters:
+    """ProGolem's knobs (``sample``, ``beamwidth``, ``minprec`` in GILPS)."""
+
+    def __init__(
+        self,
+        sample_size: int = 5,
+        beam_width: int = 3,
+        min_precision: float = 0.67,
+        min_positives: int = 2,
+        max_clauses: int = 25,
+        max_armg_rounds: int = 10,
+        bottom_clause: Optional[BottomClauseConfig] = None,
+        seed: int = 0,
+    ):
+        self.sample_size = int(sample_size)
+        self.beam_width = int(beam_width)
+        self.min_precision = float(min_precision)
+        self.min_positives = int(min_positives)
+        self.max_clauses = int(max_clauses)
+        self.max_armg_rounds = int(max_armg_rounds)
+        self.bottom_clause = bottom_clause or BottomClauseConfig(max_depth=2)
+        self.seed = int(seed)
+
+
+class ProGolemClauseLearner:
+    """LearnClause: ARMG-driven beam search from a seed bottom clause.
+
+    Subclassed by Castor, which overrides bottom-clause construction, the
+    ARMG step, and the final reduction.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        parameters: ProGolemParameters,
+        coverage: SubsumptionCoverageEngine,
+    ):
+        self.schema = schema
+        self.parameters = parameters
+        self.coverage = coverage
+        self._rng = random.Random(parameters.seed)
+
+    # ------------------------------------------------------------------ #
+    # Hooks overridden by Castor
+    # ------------------------------------------------------------------ #
+    def build_seed_clause(self, instance: DatabaseInstance, seed: Example) -> HornClause:
+        """Variablized bottom clause of the seed example."""
+        builder = BottomClauseBuilder(instance, self.parameters.bottom_clause)
+        return builder.build(seed)
+
+    def generalize(self, clause: HornClause, example: Example) -> HornClause:
+        """One ARMG application (plain ProGolem semantics)."""
+        return armg(clause, example, self.coverage)
+
+    def reduce(
+        self,
+        clause: HornClause,
+        instance: DatabaseInstance,
+        negatives: Sequence[Example],
+    ) -> HornClause:
+        """Literal-level negative reduction followed by minimization."""
+        negatives = list(negatives)
+        baseline = self.coverage.evaluate(clause, [], negatives).negatives_covered
+        index = len(clause.body) - 1
+        current = clause
+        while index >= 0 and len(current.body) > 1:
+            candidate = current.remove_literal_at(index)
+            candidate = HornClause(candidate.head, candidate.head_connected_body())
+            if not candidate.body or not candidate.is_safe():
+                index -= 1
+                continue
+            covered = self.coverage.evaluate(candidate, [], negatives).negatives_covered
+            if covered <= baseline:
+                current = candidate
+            index -= 1
+            if index >= len(current.body):
+                index = len(current.body) - 1
+        return minimize_clause(current)
+
+    # ------------------------------------------------------------------ #
+    def learn_clause(
+        self,
+        instance: DatabaseInstance,
+        uncovered_positives: Sequence[Example],
+        negatives: Sequence[Example],
+    ) -> Optional[HornClause]:
+        if not uncovered_positives:
+            return None
+        positives = list(uncovered_positives)
+        negatives = list(negatives)
+        seed = positives[0]
+        seed_clause = self.build_seed_clause(instance, seed)
+        if not seed_clause.body:
+            return None
+
+        beam: List[HornClause] = [seed_clause]
+        best_score = self._score(seed_clause, positives, negatives)
+
+        for _ in range(self.parameters.max_armg_rounds):
+            sample = positives[:]
+            self._rng.shuffle(sample)
+            sample = sample[: self.parameters.sample_size]
+            new_candidates: List[HornClause] = []
+            for clause in beam:
+                for example in sample:
+                    if self.coverage.covers(clause, example):
+                        continue
+                    candidate = self.generalize(clause, example)
+                    if not candidate.body or not candidate.is_safe():
+                        continue
+                    if self._score(candidate, positives, negatives) > best_score:
+                        new_candidates.append(candidate)
+            if not new_candidates:
+                break
+            new_candidates.sort(
+                key=lambda c: self._score(c, positives, negatives), reverse=True
+            )
+            beam = new_candidates[: self.parameters.beam_width]
+            best_score = self._score(beam[0], positives, negatives)
+
+        best = max(beam, key=lambda c: self._score(c, positives, negatives))
+        reduced = self.reduce(best, instance, negatives)
+        result = self.coverage.evaluate(reduced, positives, negatives)
+        if result.positives_covered < self.parameters.min_positives:
+            return None
+        if result.precision() < self.parameters.min_precision:
+            return None
+        return reduced
+
+    def _score(
+        self, clause: HornClause, positives: Sequence[Example], negatives: Sequence[Example]
+    ) -> float:
+        result = self.coverage.evaluate(clause, list(positives), list(negatives))
+        return result.coverage_score()
+
+
+class ProGolemLearner:
+    """Public ProGolem learner."""
+
+    name = "ProGolem"
+
+    clause_learner_class = ProGolemClauseLearner
+
+    def __init__(
+        self,
+        schema: Schema,
+        parameters: Optional[ProGolemParameters] = None,
+        threads: int = 1,
+    ):
+        self.schema = schema
+        self.parameters = parameters or ProGolemParameters()
+        self.threads = threads
+
+    def make_coverage_engine(self, instance: DatabaseInstance) -> SubsumptionCoverageEngine:
+        """Build the coverage engine (overridden by Castor to add IND awareness)."""
+        return SubsumptionCoverageEngine(
+            instance, self.parameters.bottom_clause, threads=self.threads
+        )
+
+    def make_clause_learner(
+        self, instance: DatabaseInstance, coverage: SubsumptionCoverageEngine
+    ) -> ProGolemClauseLearner:
+        return self.clause_learner_class(self.schema, self.parameters, coverage)
+
+    def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
+        coverage = self.make_coverage_engine(instance)
+        clause_learner = self.make_clause_learner(instance, coverage)
+        covering = CoveringLearner(
+            clause_learner,
+            coverage_fn=coverage.covered_examples,
+            precision_fn=lambda clause, pos, neg: precision(
+                len(coverage.covered_examples(clause, pos)),
+                len(coverage.covered_examples(clause, neg)),
+            ),
+            parameters=CoveringParameters(
+                min_precision=self.parameters.min_precision,
+                min_positives=self.parameters.min_positives,
+                max_clauses=self.parameters.max_clauses,
+            ),
+        )
+        return covering.learn(instance, examples)

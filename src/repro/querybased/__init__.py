@@ -1,0 +1,16 @@
+"""Query-based learning: MQ/EQ oracle, A2-style learner, random target generator."""
+
+from .a2 import A2Learner, A2Parameters, A2Result
+from .oracle import GroundExample, HornOracle, canonical_grounding
+from .random_definitions import RandomDefinitionConfig, RandomDefinitionGenerator
+
+__all__ = [
+    "A2Learner",
+    "A2Parameters",
+    "A2Result",
+    "GroundExample",
+    "HornOracle",
+    "RandomDefinitionConfig",
+    "RandomDefinitionGenerator",
+    "canonical_grounding",
+]

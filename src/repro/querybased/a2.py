@@ -1,0 +1,184 @@
+"""A2-style query-based learner for function-free Horn definitions (Section 8).
+
+The learner follows the structure of Khardon's A2 algorithm as implemented in
+LogAn-H:
+
+1. maintain a hypothesis ``H`` (initially empty) and a sequence of stored
+   counterexamples;
+2. ask an **equivalence query**; if the oracle says "equivalent", stop;
+   otherwise receive a positive counterexample (a ground head with the ground
+   body atoms of the scenario);
+3. **minimize** the counterexample with membership queries: drop each ground
+   body atom in turn and keep the removal whenever the reduced example is
+   still entailed by the target (one MQ per attempted removal) — this is
+   where the bulk of the membership queries are spent;
+4. try to **pair** the minimized example with a stored one by computing the
+   lgg of their clauses and asking an MQ whether the generalization is still
+   entailed; otherwise store it as a new clause;
+5. variablize the (possibly paired) example into a clause and add it to ``H``.
+
+Query complexity: the number of EQs is governed by the number of clauses in
+the target, while the number of MQs is proportional to the size of the
+counterexamples' bodies — which grows when the schema is decomposed (one
+composed literal becomes several) and when clauses have more variables.  That
+is exactly the behaviour Figure 3 reports, and Theorem 8.1 formalizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause, HornDefinition
+from ..logic.lgg import lgg_clauses
+from ..logic.subsumption import SubsumptionEngine
+from ..logic.terms import Constant, Term, Variable
+from .oracle import GroundExample, HornOracle, canonical_grounding
+
+
+class A2Parameters:
+    """Run limits for the A2-style learner."""
+
+    def __init__(
+        self,
+        max_equivalence_queries: int = 200,
+        max_clause_literals: int = 60,
+        pairing_enabled: bool = True,
+    ):
+        self.max_equivalence_queries = int(max_equivalence_queries)
+        self.max_clause_literals = int(max_clause_literals)
+        self.pairing_enabled = bool(pairing_enabled)
+
+
+class A2Result:
+    """Learned hypothesis plus the query counts spent to obtain it."""
+
+    __slots__ = ("hypothesis", "equivalence_queries", "membership_queries", "converged")
+
+    def __init__(
+        self,
+        hypothesis: HornDefinition,
+        equivalence_queries: int,
+        membership_queries: int,
+        converged: bool,
+    ):
+        self.hypothesis = hypothesis
+        self.equivalence_queries = equivalence_queries
+        self.membership_queries = membership_queries
+        self.converged = converged
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "equivalence_queries": self.equivalence_queries,
+            "membership_queries": self.membership_queries,
+            "clauses": len(self.hypothesis),
+            "converged": self.converged,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"A2Result(EQs={self.equivalence_queries}, MQs={self.membership_queries}, "
+            f"converged={self.converged})"
+        )
+
+
+class A2Learner:
+    """Learn a Horn definition by asking equivalence and membership queries."""
+
+    name = "A2"
+
+    def __init__(self, parameters: Optional[A2Parameters] = None):
+        self.parameters = parameters or A2Parameters()
+        self.engine = SubsumptionEngine()
+
+    # ------------------------------------------------------------------ #
+    def learn(self, oracle: HornOracle, target_name: str) -> A2Result:
+        """Run the query-based learning loop against ``oracle``."""
+        hypothesis = HornDefinition(target_name)
+        stored: List[HornClause] = []
+        converged = False
+
+        for _ in range(self.parameters.max_equivalence_queries):
+            counterexample = oracle.equivalence(hypothesis)
+            if counterexample is None:
+                converged = True
+                break
+            minimized = self._minimize(counterexample, oracle)
+            clause = self._variablize(minimized)
+            clause = self._pair_with_stored(clause, stored, oracle)
+            stored.append(clause)
+            hypothesis = HornDefinition(target_name, self._non_redundant(stored))
+
+        return A2Result(
+            hypothesis,
+            oracle.equivalence_queries,
+            oracle.membership_queries,
+            converged,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Counterexample minimization (the MQ-heavy step)
+    # ------------------------------------------------------------------ #
+    def _minimize(self, example: GroundExample, oracle: HornOracle) -> GroundExample:
+        """Drop ground body atoms that are not needed for entailment."""
+        current = example
+        index = len(current.body) - 1
+        while index >= 0:
+            candidate = current.without_body_atom(index)
+            if oracle.membership(candidate):
+                current = candidate
+            index -= 1
+            if index >= len(current.body):
+                index = len(current.body) - 1
+        return current
+
+    # ------------------------------------------------------------------ #
+    def _variablize(self, example: GroundExample) -> HornClause:
+        """Replace each distinct constant of the example with a distinct variable."""
+        mapping: Dict[object, Variable] = {}
+
+        def term_for(term: Term) -> Term:
+            if isinstance(term, Constant):
+                variable = mapping.get(term.value)
+                if variable is None:
+                    variable = Variable(f"x{len(mapping)}")
+                    mapping[term.value] = variable
+                return variable
+            return term
+
+        head = Atom(example.head.predicate, [term_for(t) for t in example.head.terms])
+        body = [
+            Atom(atom.predicate, [term_for(t) for t in atom.terms])
+            for atom in example.body
+        ]
+        return HornClause(head, body)
+
+    def _pair_with_stored(
+        self, clause: HornClause, stored: List[HornClause], oracle: HornOracle
+    ) -> HornClause:
+        """Try to merge the new clause with a stored clause via lgg + one MQ."""
+        if not self.parameters.pairing_enabled:
+            return clause
+        for index, existing in enumerate(stored):
+            if existing.head.predicate != clause.head.predicate:
+                continue
+            generalized = lgg_clauses(
+                existing, clause, max_body_literals=self.parameters.max_clause_literals
+            )
+            if generalized is None or not generalized.body:
+                continue
+            generalized = HornClause(generalized.head, generalized.head_connected_body())
+            if oracle.membership(canonical_grounding(generalized)):
+                stored.pop(index)
+                return generalized
+        return clause
+
+    def _non_redundant(self, clauses: List[HornClause]) -> List[HornClause]:
+        """Drop clauses subsumed by another stored clause."""
+        kept: List[HornClause] = []
+        for clause in clauses:
+            if any(self.engine.subsumes(other, clause) for other in kept):
+                continue
+            kept = [other for other in kept if not self.engine.subsumes(clause, other)]
+            kept.append(clause)
+        return kept

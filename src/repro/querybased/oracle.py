@@ -1,0 +1,125 @@
+"""Membership/equivalence-query oracle for query-based learning (Section 8).
+
+The oracle knows a *target* Horn definition and answers two kinds of queries
+(this is LogAn-H's "interactive algorithm with automatic user mode": the
+system is told the definition to be learned so it can act as the oracle):
+
+* **Membership query (MQ)** — given a ground example (a ground head atom plus
+  the ground body atoms describing the scenario), is the example entailed by
+  the target definition?  For non-recursive Horn definitions this reduces to
+  a θ-subsumption test of some target clause against the example clause.
+* **Equivalence query (EQ)** — is the submitted hypothesis equivalent to the
+  target?  If not, return a *positive counterexample*: a canonical grounding
+  of a target clause that the hypothesis does not entail.
+
+Both query counters are exposed so experiments can report query complexity
+(Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause, HornDefinition
+from ..logic.subsumption import SubsumptionEngine
+from ..logic.terms import Constant, Variable
+
+
+class GroundExample:
+    """A ground example: a ground head atom together with ground body atoms."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Atom, body: Tuple[Atom, ...]):
+        self.head = head
+        self.body = tuple(body)
+
+    def as_clause(self) -> HornClause:
+        return HornClause(self.head, self.body)
+
+    def without_body_atom(self, index: int) -> "GroundExample":
+        """Copy of the example with one body atom removed (used by minimization)."""
+        new_body = list(self.body)
+        del new_body[index]
+        return GroundExample(self.head, tuple(new_body))
+
+    def __repr__(self) -> str:
+        return f"GroundExample({self.head}, {len(self.body)} body atoms)"
+
+
+class HornOracle:
+    """Answer MQs and EQs for a fixed target Horn definition."""
+
+    def __init__(self, target_definition: HornDefinition):
+        self.target = target_definition
+        self.engine = SubsumptionEngine()
+        self.membership_queries = 0
+        self.equivalence_queries = 0
+
+    # ------------------------------------------------------------------ #
+    # Membership queries
+    # ------------------------------------------------------------------ #
+    def membership(self, example: GroundExample) -> bool:
+        """MQ: is the ground example entailed by the target definition?"""
+        self.membership_queries += 1
+        example_clause = example.as_clause()
+        return any(
+            self.engine.subsumes(clause, example_clause) for clause in self.target
+        )
+
+    # ------------------------------------------------------------------ #
+    # Equivalence queries
+    # ------------------------------------------------------------------ #
+    def equivalence(self, hypothesis: HornDefinition) -> Optional[GroundExample]:
+        """EQ: None when the hypothesis is equivalent; otherwise a counterexample.
+
+        Counterexamples are *positive*: canonical groundings of target
+        clauses that the hypothesis fails to entail.  (A hypothesis clause not
+        entailed by the target would be a negative counterexample; the A2-style
+        learner here only ever generalizes from entailed data, so positive
+        counterexamples suffice to drive learning and to detect convergence.)
+        """
+        self.equivalence_queries += 1
+        for clause in self.target:
+            example = canonical_grounding(clause)
+            if not self._hypothesis_entails(hypothesis, example):
+                return example
+        for clause in hypothesis:
+            example = canonical_grounding(clause)
+            if not self._target_entails(example):
+                # The hypothesis is too general; report the over-general
+                # grounding so the learner can drop or tighten the clause.
+                return example
+        return None
+
+    def _hypothesis_entails(self, hypothesis: HornDefinition, example: GroundExample) -> bool:
+        example_clause = example.as_clause()
+        return any(
+            self.engine.subsumes(clause, example_clause) for clause in hypothesis
+        )
+
+    def _target_entails(self, example: GroundExample) -> bool:
+        example_clause = example.as_clause()
+        return any(self.engine.subsumes(clause, example_clause) for clause in self.target)
+
+    # ------------------------------------------------------------------ #
+    def query_counts(self) -> Dict[str, int]:
+        """Counters reported by the Figure 3 experiment."""
+        return {
+            "equivalence_queries": self.equivalence_queries,
+            "membership_queries": self.membership_queries,
+        }
+
+    def reset_counts(self) -> None:
+        self.membership_queries = 0
+        self.equivalence_queries = 0
+
+
+def canonical_grounding(clause: HornClause) -> GroundExample:
+    """Ground a clause by mapping each distinct variable to a distinct constant."""
+    mapping: Dict[Variable, Constant] = {}
+    for index, variable in enumerate(clause.variables()):
+        mapping[variable] = Constant(f"c{index}")
+    grounded = clause.apply(dict(mapping))
+    return GroundExample(grounded.head, grounded.body)

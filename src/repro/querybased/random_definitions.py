@@ -1,0 +1,100 @@
+"""Random Horn-definition generator used by the Figure 3 experiment (Section 9.4).
+
+The paper generates random Horn definitions over the Denormalized-2 UW-CSE
+schema, parameterized by the number of clauses and the number of variables
+per clause, then transforms them to the more decomposed schemas by vertical
+decomposition.  This module reproduces that generator:
+
+* each definition has ``num_clauses`` clauses for a fresh target relation of
+  random arity (between 1 and the schema's maximum arity);
+* each clause body is built from randomly chosen schema relations, populated
+  with variables that are randomly either new (until the per-clause variable
+  budget is reached) or reused;
+* every head variable appears somewhere in the body (the clauses are safe);
+* no constants or function symbols appear.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..database.schema import Schema
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause, HornDefinition
+from ..logic.terms import Variable
+
+
+class RandomDefinitionConfig:
+    """Knobs of the random definition generator."""
+
+    def __init__(
+        self,
+        num_clauses: int = 1,
+        num_variables: int = 5,
+        max_body_literals: int = 8,
+        target_name: str = "target",
+        min_target_arity: int = 1,
+        max_target_arity: Optional[int] = None,
+    ):
+        self.num_clauses = int(num_clauses)
+        self.num_variables = int(num_variables)
+        self.max_body_literals = int(max_body_literals)
+        self.target_name = str(target_name)
+        self.min_target_arity = int(min_target_arity)
+        self.max_target_arity = max_target_arity
+
+
+class RandomDefinitionGenerator:
+    """Generate random safe Horn definitions over a schema."""
+
+    def __init__(self, schema: Schema, config: Optional[RandomDefinitionConfig] = None, seed: int = 0):
+        self.schema = schema
+        self.config = config or RandomDefinitionConfig()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> HornDefinition:
+        """One random definition respecting the configured limits."""
+        max_schema_arity = max(r.arity for r in self.schema.relations)
+        upper = self.config.max_target_arity or max_schema_arity
+        arity = self._rng.randint(
+            self.config.min_target_arity, max(self.config.min_target_arity, upper)
+        )
+        clauses = [self._generate_clause(arity) for _ in range(self.config.num_clauses)]
+        return HornDefinition(self.config.target_name, clauses)
+
+    def generate_many(self, count: int) -> List[HornDefinition]:
+        """Several random definitions (used to average query counts)."""
+        return [self.generate() for _ in range(count)]
+
+    # ------------------------------------------------------------------ #
+    def _generate_clause(self, target_arity: int) -> HornClause:
+        budget = max(target_arity, self.config.num_variables)
+        variables = [Variable(f"x{i}") for i in range(budget)]
+        used: List[Variable] = []
+
+        def pick_variable() -> Variable:
+            # Prefer introducing new variables until the budget is used, then reuse.
+            unused = [v for v in variables if v not in used]
+            if unused and (not used or self._rng.random() < 0.6):
+                choice = unused[0]
+            else:
+                choice = self._rng.choice(used or variables)
+            if choice not in used:
+                used.append(choice)
+            return choice
+
+        body: List[Atom] = []
+        # Keep adding literals until every budgeted variable is used (and at
+        # least one literal exists), without exceeding the body cap.
+        while (len(used) < budget or not body) and len(body) < self.config.max_body_literals:
+            relation = self._rng.choice(self.schema.relations)
+            body.append(Atom(relation.name, [pick_variable() for _ in range(relation.arity)]))
+
+        body_variables = list(dict.fromkeys(v for atom in body for v in atom.variables()))
+        head_variables = body_variables[:target_arity]
+        while len(head_variables) < target_arity:
+            head_variables.append(body_variables[0])
+        head = Atom(self.config.target_name, head_variables)
+        return HornClause(head, body)

@@ -1,0 +1,220 @@
+"""Schema transformations τ: composition/decomposition pipelines.
+
+A :class:`SchemaTransformation` bundles a source schema, a sequence of
+decompose/compose operations, the resulting target schema, and the three maps
+the paper reasons about:
+
+* ``apply(I)``     — the instance transformation τ : I(R) → I(S);
+* ``invert()``     — the inverse transformation τ⁻¹ (compose ↔ decompose);
+* ``map_definition(h)`` — the definition mapping δτ (Proposition 3.7), which
+  rewrites a Horn definition over the source schema into an equivalent one
+  over the target schema by substituting each literal of a transformed
+  relation.
+
+Because both τ and τ⁻¹ are Horn transformations, δτ is obtained literal by
+literal: a literal of a composed relation expands into literals of its parts,
+and a literal of a decomposed part expands into a literal of the composed
+relation with fresh variables in the unconstrained positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..database.instance import DatabaseInstance
+from ..database.schema import Schema
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause, HornDefinition
+from ..logic.terms import Term, Variable
+from .decomposition import (
+    ComposeOperation,
+    DecomposeOperation,
+    apply_compose_to_schema,
+    apply_decompose_to_schema,
+    compose_rows,
+    decompose_rows,
+)
+
+Operation = Union[DecomposeOperation, ComposeOperation]
+
+
+class SchemaTransformation:
+    """A finite sequence of decompose/compose operations applied to a schema."""
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        operations: Sequence[Operation],
+        target_name: Optional[str] = None,
+    ):
+        self.source_schema = source_schema
+        self.operations: List[Operation] = list(operations)
+        schema = source_schema
+        self._intermediate_schemas: List[Schema] = [schema]
+        for operation in self.operations:
+            if isinstance(operation, DecomposeOperation):
+                schema = apply_decompose_to_schema(schema, operation)
+            elif isinstance(operation, ComposeOperation):
+                schema = apply_compose_to_schema(schema, operation)
+            else:
+                raise TypeError(f"unsupported operation {operation!r}")
+            self._intermediate_schemas.append(schema)
+        if target_name:
+            schema = schema.with_constraints(name=target_name)
+        self.target_schema = schema
+
+    # ------------------------------------------------------------------ #
+    # Instance transformation τ
+    # ------------------------------------------------------------------ #
+    def apply(self, instance: DatabaseInstance) -> DatabaseInstance:
+        """Transform a source-schema instance into the target-schema instance."""
+        if instance.schema.relation_names != self.source_schema.relation_names:
+            # A softer check than full equality: the relations must line up.
+            missing = set(self.source_schema.relation_names) - set(
+                instance.schema.relation_names
+            )
+            if missing:
+                raise ValueError(
+                    f"instance is missing relations {sorted(missing)} of the source schema"
+                )
+        current = instance
+        for step, operation in enumerate(self.operations):
+            schema_after = self._intermediate_schemas[step + 1]
+            current = self._apply_single(current, schema_after, operation)
+        final = DatabaseInstance(self.target_schema)
+        for relation in current.relations():
+            if self.target_schema.has_relation(relation.schema.name):
+                final.add_tuples(relation.schema.name, relation.rows)
+        return final
+
+    @staticmethod
+    def _apply_single(
+        instance: DatabaseInstance, schema_after: Schema, operation: Operation
+    ) -> DatabaseInstance:
+        result = DatabaseInstance(schema_after)
+        if isinstance(operation, DecomposeOperation):
+            decomposed = decompose_rows(instance, operation)
+            touched = set(decomposed)
+            for name, rows in decomposed.items():
+                result.add_tuples(name, rows)
+            for relation in instance.relations():
+                if relation.schema.name != operation.relation and relation.schema.name not in touched:
+                    result.add_tuples(relation.schema.name, relation.rows)
+        else:
+            composed = compose_rows(instance, operation)
+            result.add_tuples(operation.new_name, composed)
+            members = set(operation.relations)
+            for relation in instance.relations():
+                if relation.schema.name not in members:
+                    result.add_tuples(relation.schema.name, relation.rows)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Inverse transformation τ⁻¹
+    # ------------------------------------------------------------------ #
+    def invert(self) -> "SchemaTransformation":
+        """The inverse transformation from the target schema back to the source.
+
+        Each compose becomes a decompose of the composed relation into the
+        original members and vice versa; the operation order is reversed.
+        """
+        inverse_operations: List[Operation] = []
+        for step in range(len(self.operations) - 1, -1, -1):
+            operation = self.operations[step]
+            schema_before = self._intermediate_schemas[step]
+            if isinstance(operation, DecomposeOperation):
+                source_relation = schema_before.relation(operation.relation)
+                inverse_operations.append(
+                    ComposeOperation(
+                        operation.part_names(),
+                        operation.relation,
+                        attribute_order=source_relation.attributes,
+                    )
+                )
+            else:
+                # The member relations' attribute lists live in the schema
+                # *before* the composition was applied.
+                inverse_operations.append(operation.inverse(schema_before))
+        return SchemaTransformation(
+            self.target_schema, inverse_operations, target_name=self.source_schema.name
+        )
+
+    def is_invertible_on(self, instance: DatabaseInstance) -> bool:
+        """Check τ⁻¹(τ(I)) = I for the given instance (bijectivity witness)."""
+        transformed = self.apply(instance)
+        recovered = self.invert().apply(transformed)
+        return recovered.same_contents(instance)
+
+    # ------------------------------------------------------------------ #
+    # Definition mapping δτ
+    # ------------------------------------------------------------------ #
+    def map_definition(self, definition: HornDefinition) -> HornDefinition:
+        """Rewrite a definition over the source schema into one over the target schema."""
+        mapped_clauses = [self.map_clause(clause) for clause in definition]
+        return HornDefinition(definition.target, mapped_clauses)
+
+    def map_clause(self, clause: HornClause) -> HornClause:
+        """Rewrite a single clause literal by literal through every operation."""
+        body = list(clause.body)
+        fresh_counter = [0]
+        for step, operation in enumerate(self.operations):
+            schema_before = self._intermediate_schemas[step]
+            schema_after = self._intermediate_schemas[step + 1]
+            new_body: List[Atom] = []
+            for atom in body:
+                new_body.extend(
+                    self._map_atom(atom, operation, schema_before, schema_after, fresh_counter)
+                )
+            body = new_body
+        deduplicated: List[Atom] = []
+        seen = set()
+        for atom in body:
+            if atom not in seen:
+                seen.add(atom)
+                deduplicated.append(atom)
+        return HornClause(clause.head, deduplicated)
+
+    @staticmethod
+    def _map_atom(
+        atom: Atom,
+        operation: Operation,
+        schema_before: Schema,
+        schema_after: Schema,
+        fresh_counter: List[int],
+    ) -> List[Atom]:
+        if isinstance(operation, DecomposeOperation):
+            if atom.predicate != operation.relation:
+                return [atom]
+            source_relation = schema_before.relation(operation.relation)
+            term_of: Dict[str, Term] = dict(zip(source_relation.attributes, atom.terms))
+            mapped = []
+            for name, attrs in operation.parts:
+                mapped.append(Atom(name, [term_of[a] for a in attrs]))
+            return mapped
+
+        members = set(operation.relations)
+        if atom.predicate not in members:
+            return [atom]
+        member_relation = schema_before.relation(atom.predicate)
+        term_of = dict(zip(member_relation.attributes, atom.terms))
+        composed_attrs = schema_after.relation(operation.new_name).attributes
+        terms: List[Term] = []
+        for attribute in composed_attrs:
+            existing = term_of.get(attribute)
+            if existing is None:
+                fresh_counter[0] += 1
+                existing = Variable(f"f{fresh_counter[0]}")
+            terms.append(existing)
+        return [Atom(operation.new_name, terms)]
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return (
+            f"SchemaTransformation({self.source_schema.name!r} -> "
+            f"{self.target_schema.name!r}, {len(self.operations)} operations)"
+        )
+
+
+def identity_transformation(schema: Schema) -> SchemaTransformation:
+    """A transformation with no operations (τ is the identity)."""
+    return SchemaTransformation(schema, [], target_name=schema.name)

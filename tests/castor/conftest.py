@@ -1,0 +1,95 @@
+"""Fixtures for Castor component tests: a tiny composed/decomposed pair.
+
+The base scenario is the paper's running example in miniature: a wide
+relation ``person(id, phase, years)`` and its decomposition into
+``person(id)``, ``inPhase(id, phase)``, ``years(id, years)`` connected by
+INDs with equality, plus a ``publication(title, person)`` relation shared by
+both schemas.  The target is ``advised(stud, prof)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import (
+    DatabaseInstance,
+    FunctionalDependency,
+    InclusionDependency,
+    RelationSchema,
+    Schema,
+)
+from repro.learning.examples import ExampleSet
+from repro.transform import ComposeOperation, SchemaTransformation
+
+
+@pytest.fixture
+def decomposed_schema() -> Schema:
+    relations = [
+        RelationSchema("person", ["id"]),
+        RelationSchema("inPhase", ["id", "phase"]),
+        RelationSchema("years", ["id", "yrs"]),
+        RelationSchema("publication", ["title", "author"]),
+    ]
+    fds = [
+        FunctionalDependency("inPhase", ["id"], ["phase"]),
+        FunctionalDependency("years", ["id"], ["yrs"]),
+    ]
+    inds = [
+        InclusionDependency("person", ["id"], "inPhase", ["id"], with_equality=True),
+        InclusionDependency("person", ["id"], "years", ["id"], with_equality=True),
+    ]
+    return Schema(relations, fds, inds, name="mini-decomposed")
+
+
+@pytest.fixture
+def decomposed_instance(decomposed_schema: Schema) -> DatabaseInstance:
+    instance = DatabaseInstance(decomposed_schema)
+    people = {
+        "stud1": ("prelim", 3),
+        "stud2": ("post_quals", 5),
+        "stud3": ("prelim", 2),
+        "prof1": ("faculty", 10),
+        "prof2": ("faculty", 12),
+    }
+    for person, (phase, years) in people.items():
+        instance.add_tuple("person", (person,))
+        instance.add_tuple("inPhase", (person, phase))
+        instance.add_tuple("years", (person, years))
+    publications = [
+        ("t1", "stud1"), ("t1", "prof1"),
+        ("t2", "stud2"), ("t2", "prof2"),
+        ("t3", "prof1"), ("t3", "prof2"),
+        ("t4", "stud3"),
+    ]
+    instance.add_tuples("publication", publications)
+    return instance
+
+
+@pytest.fixture
+def composition(decomposed_schema: Schema) -> SchemaTransformation:
+    """Compose person/inPhase/years into a single wide person relation."""
+    return SchemaTransformation(
+        decomposed_schema,
+        [
+            ComposeOperation(
+                ["person", "inPhase", "years"],
+                "person",
+                attribute_order=["id", "phase", "yrs"],
+            )
+        ],
+        target_name="mini-composed",
+    )
+
+
+@pytest.fixture
+def composed_instance_mini(decomposed_instance, composition) -> DatabaseInstance:
+    return composition.apply(decomposed_instance)
+
+
+@pytest.fixture
+def advised_examples() -> ExampleSet:
+    return ExampleSet(
+        "advised",
+        [("stud1", "prof1"), ("stud2", "prof2")],
+        [("stud3", "prof1"), ("stud1", "prof2"), ("stud2", "prof1"), ("stud3", "prof2")],
+    )

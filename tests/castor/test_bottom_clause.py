@@ -1,0 +1,122 @@
+"""Tests for Castor's IND-aware bottom-clause construction (Lemma 7.5)."""
+
+import pytest
+
+from repro.castor.bottom_clause import CastorBottomClauseBuilder, CastorBottomClauseConfig
+from repro.learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
+from repro.learning.examples import Example
+from repro.logic.terms import Variable
+
+
+EXAMPLE = Example("advised", ("stud1", "prof1"), True)
+
+
+class TestIndChasing:
+    def test_ind_siblings_are_pulled_in(self, decomposed_instance, decomposed_schema):
+        """Adding a person tuple must drag in its inPhase and years tuples."""
+        builder = CastorBottomClauseBuilder(
+            decomposed_instance,
+            decomposed_schema,
+            CastorBottomClauseConfig(max_depth=1),
+        )
+        clause = builder.build(EXAMPLE)
+        predicates = {atom.predicate for atom in clause.body}
+        assert {"person", "inPhase", "years"} <= predicates
+
+    def test_standard_builder_misses_siblings_at_depth_zero_constants(
+        self, decomposed_instance
+    ):
+        """The IND chase is what distinguishes Castor's builder from the standard one.
+
+        At depth 1 both builders see the tuples containing the example
+        constants, so the difference shows in the *structure*: the Castor
+        builder groups sibling tuples even when a per-relation cap would have
+        excluded them.  Here we simply document that the Castor bottom clause
+        is a superset of the standard one at equal limits.
+        """
+        standard = BottomClauseBuilder(
+            decomposed_instance, BottomClauseConfig(max_depth=1)
+        ).build(EXAMPLE)
+        castor = CastorBottomClauseBuilder(
+            decomposed_instance,
+            decomposed_instance.schema,
+            CastorBottomClauseConfig(max_depth=1),
+        ).build(EXAMPLE)
+        assert set(a.predicate for a in standard.body) <= set(
+            a.predicate for a in castor.body
+        )
+
+    def test_inds_for_metadata(self, decomposed_instance, decomposed_schema):
+        builder = CastorBottomClauseBuilder(decomposed_instance, decomposed_schema)
+        assert builder.inds_for("person")
+        assert builder.inds_for("publication") == []
+
+    def test_ground_bottom_clause_is_ground(self, decomposed_instance, decomposed_schema):
+        builder = CastorBottomClauseBuilder(decomposed_instance, decomposed_schema)
+        saturation = builder.build_ground(EXAMPLE)
+        assert all(atom.is_ground() for atom in saturation.body)
+
+    def test_variable_budget_respected(self, decomposed_instance, decomposed_schema):
+        tight = CastorBottomClauseBuilder(
+            decomposed_instance,
+            decomposed_schema,
+            CastorBottomClauseConfig(max_depth=None, max_distinct_variables=4),
+        ).build(EXAMPLE)
+        loose = CastorBottomClauseBuilder(
+            decomposed_instance,
+            decomposed_schema,
+            CastorBottomClauseConfig(max_depth=None, max_distinct_variables=20),
+        ).build(EXAMPLE)
+        assert len(tight.body) <= len(loose.body)
+
+    def test_joining_tuple_cap(self, decomposed_instance, decomposed_schema):
+        capped = CastorBottomClauseBuilder(
+            decomposed_instance,
+            decomposed_schema,
+            CastorBottomClauseConfig(max_depth=1, max_joining_tuples_per_ind=0),
+        ).build(EXAMPLE)
+        # With the cap at zero the chase adds nothing beyond the seed tuples.
+        chased = CastorBottomClauseBuilder(
+            decomposed_instance,
+            decomposed_schema,
+            CastorBottomClauseConfig(max_depth=1, max_joining_tuples_per_ind=10),
+        ).build(EXAMPLE)
+        assert len(capped.body) <= len(chased.body)
+
+
+class TestSchemaIndependenceOfBottomClauses:
+    def test_equivalent_bottom_clauses_across_composition(
+        self, decomposed_instance, decomposed_schema, composition, composed_instance_mini
+    ):
+        """Lemma 7.5: Castor's bottom clauses are equivalent across (de)composition.
+
+        Equivalence is checked on the distinct-variable count and on the
+        information content: the decomposed clause mentions person/inPhase/
+        years literals exactly where the composed clause has a single wide
+        person literal, with matching variables.
+        """
+        config = CastorBottomClauseConfig(max_depth=2, max_distinct_variables=20)
+        decomposed_clause = CastorBottomClauseBuilder(
+            decomposed_instance, decomposed_schema, config
+        ).build(EXAMPLE)
+        composed_clause = CastorBottomClauseBuilder(
+            composed_instance_mini, composition.target_schema, config
+        ).build(EXAMPLE)
+
+        assert len(decomposed_clause.variables()) == len(composed_clause.variables())
+
+        publication_literals_decomposed = [
+            a for a in decomposed_clause.body if a.predicate == "publication"
+        ]
+        publication_literals_composed = [
+            a for a in composed_clause.body if a.predicate == "publication"
+        ]
+        assert len(publication_literals_decomposed) == len(publication_literals_composed)
+
+        wide_person_literals = [
+            a for a in composed_clause.body if a.predicate == "person" and a.arity == 3
+        ]
+        narrow_person_literals = [
+            a for a in decomposed_clause.body if a.predicate == "person" and a.arity == 1
+        ]
+        assert len(wide_person_literals) == len(narrow_person_literals)

@@ -1,0 +1,105 @@
+"""Tests for examples, splitting, and negative sampling."""
+
+import pytest
+
+from repro.learning.examples import Example, ExampleSet, sample_closed_world_negatives
+
+
+class TestExample:
+    def test_as_atom_is_ground(self):
+        example = Example("advisedBy", ("s1", "p1"), True)
+        atom = example.as_atom()
+        assert atom.is_ground()
+        assert atom.predicate == "advisedBy"
+
+    def test_equality_includes_label(self):
+        assert Example("t", ("a",), True) == Example("t", ("a",), True)
+        assert Example("t", ("a",), True) != Example("t", ("a",), False)
+
+
+class TestExampleSet:
+    def make_set(self, positives=6, negatives=12) -> ExampleSet:
+        return ExampleSet(
+            "t",
+            [(f"p{i}",) for i in range(positives)],
+            [(f"n{i}",) for i in range(negatives)],
+        )
+
+    def test_lengths(self):
+        examples = self.make_set()
+        assert len(examples) == 18
+        assert len(examples.positives) == 6
+        assert len(examples.negatives) == 12
+        assert not examples.is_empty()
+
+    def test_tuple_views(self):
+        examples = self.make_set(2, 1)
+        assert examples.positive_tuples() == {("p0",), ("p1",)}
+        assert examples.negative_tuples() == {("n0",)}
+
+    def test_shuffled_is_deterministic_per_seed(self):
+        examples = self.make_set()
+        first = [e.values for e in examples.shuffled(seed=3).positives]
+        second = [e.values for e in examples.shuffled(seed=3).positives]
+        third = [e.values for e in examples.shuffled(seed=4).positives]
+        assert first == second
+        assert set(first) == set(e.values for e in examples.positives)
+        assert first != third or len(first) <= 1
+
+    def test_train_test_split_is_stratified_partition(self):
+        examples = self.make_set()
+        train, test = examples.train_test_split(test_fraction=0.3, seed=0)
+        assert len(train.positives) + len(test.positives) == 6
+        assert len(train.negatives) + len(test.negatives) == 12
+        assert set(train.positive_tuples()).isdisjoint(test.positive_tuples())
+
+    def test_train_test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            self.make_set().train_test_split(test_fraction=0.0)
+
+    def test_k_folds_cover_every_example_once(self):
+        examples = self.make_set()
+        seen_positive_test = []
+        folds = list(examples.k_folds(3, seed=1))
+        assert len(folds) == 3
+        for train, test in folds:
+            assert set(train.positive_tuples()).isdisjoint(test.positive_tuples())
+            seen_positive_test.extend(test.positive_tuples())
+        assert sorted(seen_positive_test) == sorted(examples.positive_tuples())
+
+    def test_k_folds_requires_at_least_two(self):
+        with pytest.raises(ValueError):
+            list(self.make_set().k_folds(1))
+
+    def test_subsample_caps_sizes(self):
+        examples = self.make_set()
+        small = examples.subsample(max_positives=2, max_negatives=3, seed=0)
+        assert len(small.positives) == 2
+        assert len(small.negatives) == 3
+
+
+class TestClosedWorldNegatives:
+    def test_negatives_disjoint_from_positives(self):
+        positives = [("s1", "p1"), ("s2", "p2")]
+        negatives = sample_closed_world_negatives(
+            positives, [["s1", "s2", "s3"], ["p1", "p2", "p3"]], ratio=2.0, seed=0
+        )
+        assert len(negatives) == 4
+        assert set(negatives).isdisjoint(set(positives))
+        assert len(set(negatives)) == len(negatives)
+
+    def test_ratio_of_two_by_default_matches_paper(self):
+        positives = [(f"s{i}", "p0") for i in range(5)]
+        negatives = sample_closed_world_negatives(
+            positives, [[f"s{i}" for i in range(10)], [f"p{i}" for i in range(10)]], seed=1
+        )
+        assert len(negatives) == 10
+
+    def test_small_domain_terminates(self):
+        # Domain so small that the requested ratio cannot be met: the sampler
+        # must terminate and return what exists.
+        positives = [("a", "b")]
+        negatives = sample_closed_world_negatives(
+            positives, [["a"], ["b"]], ratio=5.0, seed=0
+        )
+        assert negatives == []

@@ -1,0 +1,108 @@
+"""Tests for the clause parser and pretty-printer."""
+
+import pytest
+
+from repro.logic.atoms import Atom
+from repro.logic.parser import (
+    ClauseParseError,
+    format_clause,
+    format_definition,
+    parse_atom,
+    parse_clause,
+    parse_definition,
+    parse_term,
+)
+from repro.logic.terms import Constant, Variable
+
+
+class TestParseTerm:
+    def test_single_lowercase_letter_is_variable(self):
+        assert parse_term("x") == Variable("x")
+        assert parse_term("v12") == Variable("v12")
+
+    def test_uppercase_is_variable(self):
+        assert parse_term("Stud") == Variable("Stud")
+
+    def test_words_are_constants(self):
+        assert parse_term("post_generals") == Constant("post_generals")
+        assert parse_term("faculty") == Constant("faculty")
+
+    def test_numbers_are_constants(self):
+        assert parse_term("7") == Constant(7)
+        assert parse_term("3.5") == Constant(3.5)
+        assert parse_term("-2") == Constant(-2)
+
+    def test_quoted_strings_are_constants(self):
+        assert parse_term("'x'") == Constant("x")
+        assert parse_term('"hello world"') == Constant("hello world")
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ClauseParseError):
+            parse_term("  ")
+
+
+class TestParseAtom:
+    def test_simple_atom(self):
+        assert parse_atom("publication(z, x)") == Atom(
+            "publication", [Variable("z"), Variable("x")]
+        )
+
+    def test_atom_with_constants(self):
+        atom = parse_atom("student(x, post_generals, 5)")
+        assert atom.terms == (Variable("x"), Constant("post_generals"), Constant(5))
+
+    def test_zero_arity_atom(self):
+        assert parse_atom("flag()") == Atom("flag", [])
+
+    def test_malformed_atom_rejected(self):
+        with pytest.raises(ClauseParseError):
+            parse_atom("not an atom")
+
+
+class TestParseClause:
+    def test_fact(self):
+        clause = parse_clause("student(alice).")
+        assert clause.length == 0
+        assert clause.head == Atom("student", ["alice"])
+
+    def test_clause_with_prolog_separator(self):
+        clause = parse_clause("advisedBy(x, y) :- publication(z, x), publication(z, y).")
+        assert clause.length == 2
+
+    def test_clause_with_arrow_separator(self):
+        clause = parse_clause("advisedBy(x, y) <- publication(z, x), publication(z, y)")
+        assert clause.length == 2
+
+    def test_clause_with_true_body(self):
+        clause = parse_clause("collaborated(x, y) :- true.")
+        assert clause.length == 0
+
+    def test_round_trip(self):
+        text = "advisedBy(x, y) :- student(x), professor(y), publication(z, x), publication(z, y)."
+        clause = parse_clause(text)
+        assert parse_clause(format_clause(clause)) == clause
+
+
+class TestParseDefinition:
+    def test_multi_clause_definition(self):
+        text = """
+        % comment line
+        path(x, y) :- edge(x, y).
+        path(x, y) :- edge(x, z), path(z, y).
+        """
+        definition = parse_definition(text)
+        assert definition.target == "path"
+        assert len(definition) == 2
+
+    def test_explicit_target_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            parse_definition("p(x) :- q(x).", target="other")
+
+    def test_empty_definition_rejected(self):
+        with pytest.raises(ClauseParseError):
+            parse_definition("% only comments")
+
+    def test_format_round_trip(self):
+        text = "p(x) :- q(x, y), r(y).\np(x) :- s(x)."
+        definition = parse_definition(text)
+        assert parse_definition(format_definition(definition)) == definition

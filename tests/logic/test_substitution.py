@@ -1,0 +1,77 @@
+"""Tests for repro.logic.substitution."""
+
+from repro.logic.atoms import Atom
+from repro.logic.substitution import (
+    apply_substitution,
+    compose,
+    match_atom_to_ground,
+    restrict,
+    unify_atoms,
+    unify_term_sequences,
+    unify_terms,
+)
+from repro.logic.terms import Constant, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+
+
+class TestApplyAndCompose:
+    def test_apply_to_variable_and_constant(self):
+        theta = {X: A}
+        assert apply_substitution(X, theta) == A
+        assert apply_substitution(Y, theta) == Y
+        assert apply_substitution(A, theta) == A
+
+    def test_compose_applies_second_to_first(self):
+        first = {X: Y}
+        second = {Y: A}
+        composed = compose(first, second)
+        assert composed[X] == A
+        assert composed[Y] == A
+
+    def test_restrict(self):
+        theta = {X: A, Y: B}
+        assert restrict(theta, [X]) == {X: A}
+
+
+class TestUnification:
+    def test_unify_equal_terms(self):
+        assert unify_terms(A, A) == {}
+        assert unify_terms(X, X) == {}
+
+    def test_unify_variable_with_constant(self):
+        assert unify_terms(X, A) == {X: A}
+        assert unify_terms(A, X) == {X: A}
+
+    def test_unify_conflicting_constants_fails(self):
+        assert unify_terms(A, B) is None
+
+    def test_unify_respects_existing_bindings(self):
+        assert unify_terms(X, B, {X: A}) is None
+        assert unify_terms(X, A, {X: A}) == {X: A}
+
+    def test_unify_sequences(self):
+        assert unify_term_sequences([X, Y], [A, B]) == {X: A, Y: B}
+        assert unify_term_sequences([X, X], [A, B]) is None
+        assert unify_term_sequences([X], [A, B]) is None
+
+    def test_unify_atoms(self):
+        assert unify_atoms(Atom("r", [X, Y]), Atom("r", [A, B])) == {X: A, Y: B}
+        assert unify_atoms(Atom("r", [X]), Atom("s", [A])) is None
+
+
+class TestMatching:
+    def test_match_binds_pattern_variables_only(self):
+        theta = match_atom_to_ground(Atom("r", [X, Y]), Atom("r", [A, B]))
+        assert theta == {X: A, Y: B}
+
+    def test_match_fails_on_constant_mismatch(self):
+        assert match_atom_to_ground(Atom("r", [A]), Atom("r", [B])) is None
+
+    def test_match_fails_on_inconsistent_repeated_variable(self):
+        assert match_atom_to_ground(Atom("r", [X, X]), Atom("r", [A, B])) is None
+        assert match_atom_to_ground(Atom("r", [X, X]), Atom("r", [A, A])) == {X: A}
+
+    def test_match_respects_prior_bindings(self):
+        assert match_atom_to_ground(Atom("r", [X]), Atom("r", [B]), {X: A}) is None

@@ -1,0 +1,63 @@
+"""Tests for repro.logic.terms."""
+
+import pytest
+
+from repro.logic.terms import Constant, Variable, fresh_variable_factory, make_term
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_is_variable(self):
+        assert Variable("x").is_variable()
+        assert not Variable("x").is_constant()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str_is_name(self):
+        assert str(Variable("abc")) == "abc"
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant(1) != Constant("1")
+
+    def test_is_constant(self):
+        assert Constant("a").is_constant()
+        assert not Constant("a").is_variable()
+
+    def test_numeric_values_supported(self):
+        assert Constant(7).value == 7
+        assert Constant(3.5).value == 3.5
+
+    def test_nested_terms_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(Variable("x"))
+
+    def test_variable_and_constant_never_equal(self):
+        assert Variable("x") != Constant("x")
+        assert hash(Variable("x")) != hash(Constant("x"))
+
+
+class TestHelpers:
+    def test_make_term_wraps_plain_values(self):
+        assert make_term("a") == Constant("a")
+        assert make_term(3) == Constant(3)
+
+    def test_make_term_passes_terms_through(self):
+        variable = Variable("x")
+        assert make_term(variable) is variable
+
+    def test_fresh_variable_factory_never_repeats(self):
+        fresh = fresh_variable_factory("t")
+        produced = {fresh() for _ in range(50)}
+        assert len(produced) == 50
+        assert all(v.name.startswith("t") for v in produced)

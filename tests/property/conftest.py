@@ -1,0 +1,9 @@
+"""Reuse the mini composed/decomposed fixtures defined for the Castor tests."""
+
+from tests.castor.conftest import (  # noqa: F401
+    advised_examples,
+    composed_instance_mini,
+    composition,
+    decomposed_instance,
+    decomposed_schema,
+)

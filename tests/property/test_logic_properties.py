@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the logic substrate's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.atoms import Atom
+from repro.logic.clauses import HornClause
+from repro.logic.lgg import lgg_clauses
+from repro.logic.minimize import minimize_clause
+from repro.logic.subsumption import SubsumptionEngine
+from repro.logic.terms import Constant, Variable
+
+ENGINE = SubsumptionEngine()
+
+predicates = st.sampled_from(["p", "q", "r"])
+constants = st.integers(min_value=0, max_value=5).map(lambda i: Constant(f"c{i}"))
+variables = st.integers(min_value=0, max_value=4).map(lambda i: Variable(f"x{i}"))
+terms = st.one_of(constants, variables)
+ground_terms = constants
+
+
+def atom_strategy(term_strategy):
+    return st.builds(
+        lambda predicate, args: Atom(predicate, args),
+        predicates,
+        st.lists(term_strategy, min_size=1, max_size=2),
+    )
+
+
+clauses = st.builds(
+    lambda head_terms, body: HornClause(Atom("t", head_terms), body),
+    st.lists(terms, min_size=1, max_size=2),
+    st.lists(atom_strategy(terms), min_size=0, max_size=4),
+)
+
+# Fixed head arity: the lgg of clauses whose heads have different arities is
+# undefined (lgg_atoms returns None), so the lgg properties quantify over
+# clauses with a two-argument head.
+ground_clauses = st.builds(
+    lambda head_terms, body: HornClause(Atom("t", head_terms), body),
+    st.lists(ground_terms, min_size=2, max_size=2),
+    st.lists(atom_strategy(ground_terms), min_size=0, max_size=4),
+)
+
+
+class TestSubsumptionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(clauses)
+    def test_subsumption_is_reflexive(self, clause):
+        assert ENGINE.subsumes(clause, clause)
+
+    @settings(max_examples=60, deadline=None)
+    @given(clauses, atom_strategy(terms))
+    def test_removing_a_literal_generalizes(self, clause, extra):
+        extended = clause.add_literal(extra)
+        assert ENGINE.subsumes(clause, extended)
+
+    @settings(max_examples=60, deadline=None)
+    @given(clauses)
+    def test_grounding_is_subsumed(self, clause):
+        grounding = {v: Constant(f"g{i}") for i, v in enumerate(clause.variables())}
+        assert ENGINE.subsumes(clause, clause.apply(grounding))
+
+
+class TestMinimizationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(clauses)
+    def test_minimization_preserves_equivalence(self, clause):
+        minimized = minimize_clause(clause)
+        assert len(minimized.body) <= len(clause.body)
+        assert ENGINE.equivalent(minimized, clause)
+
+    @settings(max_examples=40, deadline=None)
+    @given(clauses)
+    def test_minimization_is_idempotent(self, clause):
+        once = minimize_clause(clause)
+        twice = minimize_clause(once)
+        assert len(once.body) == len(twice.body)
+
+
+class TestLggProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ground_clauses, ground_clauses)
+    def test_lgg_subsumes_both_inputs(self, first, second):
+        generalized = lgg_clauses(first, second)
+        assert generalized is not None
+        assert ENGINE.subsumes(generalized, first)
+        assert ENGINE.subsumes(generalized, second)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ground_clauses)
+    def test_lgg_with_itself_is_equivalent(self, clause):
+        generalized = lgg_clauses(clause, clause)
+        assert generalized is not None
+        assert ENGINE.equivalent(generalized, clause)

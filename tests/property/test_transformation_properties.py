@@ -1,0 +1,75 @@
+"""Property-based tests for (de)composition: bijectivity and definition preservation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database.instance import DatabaseInstance
+from repro.database.schema import RelationSchema, Schema
+from repro.logic.clauses import HornDefinition
+from repro.logic.parser import parse_clause
+from repro.transform.decomposition import DecomposeOperation
+from repro.transform.equivalence import definition_results
+from repro.transform.transformation import SchemaTransformation
+
+# wide(a, b, c) instances where ``a`` is a key (one row per a-value), which is
+# the FD situation under which the projection decomposition is lossless.
+keyed_rows = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=6).map(lambda i: f"a{i}"),
+    values=st.tuples(
+        st.integers(min_value=0, max_value=3).map(lambda i: f"b{i}"),
+        st.integers(min_value=0, max_value=3).map(lambda i: f"c{i}"),
+    ),
+    min_size=1,
+    max_size=7,
+)
+
+
+def make_instance(rows) -> DatabaseInstance:
+    schema = Schema([RelationSchema("wide", ["a", "b", "c"])], name="wide-schema")
+    instance = DatabaseInstance(schema)
+    for a_value, (b_value, c_value) in rows.items():
+        instance.add_tuple("wide", (a_value, b_value, c_value))
+    return instance
+
+
+def make_transformation(instance: DatabaseInstance) -> SchemaTransformation:
+    return SchemaTransformation(
+        instance.schema,
+        [DecomposeOperation("wide", [("left", ["a", "b"]), ("right", ["a", "c"])])],
+    )
+
+
+class TestDecompositionProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(keyed_rows)
+    def test_decomposition_is_invertible(self, rows):
+        instance = make_instance(rows)
+        transformation = make_transformation(instance)
+        assert transformation.is_invertible_on(instance)
+
+    @settings(max_examples=50, deadline=None)
+    @given(keyed_rows)
+    def test_decomposed_instance_satisfies_generated_inds(self, rows):
+        instance = make_instance(rows)
+        transformation = make_transformation(instance)
+        transformed = transformation.apply(instance)
+        assert transformed.satisfies_all_constraints()
+
+    @settings(max_examples=50, deadline=None)
+    @given(keyed_rows)
+    def test_definition_mapping_preserves_results(self, rows):
+        instance = make_instance(rows)
+        transformation = make_transformation(instance)
+        definition = HornDefinition("t", [parse_clause("t(x, y) :- wide(x, y, z).")])
+        mapped = transformation.map_definition(definition)
+        assert definition_results(definition, instance) == definition_results(
+            mapped, transformation.apply(instance)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(keyed_rows)
+    def test_tuple_counts_match_projections(self, rows):
+        instance = make_instance(rows)
+        transformation = make_transformation(instance)
+        transformed = transformation.apply(instance)
+        assert len(transformed.relation("left")) <= len(instance.relation("wide"))
+        assert len(transformed.relation("right")) <= len(instance.relation("wide"))

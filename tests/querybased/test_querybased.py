@@ -1,0 +1,143 @@
+"""Tests for the MQ/EQ oracle, the A2 learner, and the random definition generator."""
+
+import pytest
+
+from repro.datasets import uwcse
+from repro.logic.clauses import HornDefinition
+from repro.logic.parser import parse_clause, parse_definition
+from repro.querybased.a2 import A2Learner, A2Parameters
+from repro.querybased.oracle import GroundExample, HornOracle, canonical_grounding
+from repro.querybased.random_definitions import RandomDefinitionConfig, RandomDefinitionGenerator
+
+
+TARGET_DEFINITION = parse_definition(
+    """
+    target(x, y) :- parent(x, z), parent(z, y).
+    target(x, y) :- married(x, y).
+    """
+)
+
+
+class TestOracle:
+    def test_membership_of_entailed_example(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        example = canonical_grounding(TARGET_DEFINITION.clauses[0])
+        assert oracle.membership(example)
+        assert oracle.membership_queries == 1
+
+    def test_membership_of_non_entailed_example(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        example = canonical_grounding(parse_clause("target(x, y) :- sibling(x, y)."))
+        assert not oracle.membership(example)
+
+    def test_equivalence_of_exact_hypothesis(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        assert oracle.equivalence(TARGET_DEFINITION) is None
+
+    def test_equivalence_returns_counterexample_for_incomplete_hypothesis(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        partial = HornDefinition("target", [TARGET_DEFINITION.clauses[0]])
+        counterexample = oracle.equivalence(partial)
+        assert counterexample is not None
+        assert counterexample.head.predicate == "target"
+
+    def test_equivalence_flags_overgeneral_hypothesis(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        overgeneral = parse_definition("target(x, y) :- parent(x, y).")
+        assert oracle.equivalence(overgeneral) is not None
+
+    def test_canonical_grounding_is_ground(self):
+        example = canonical_grounding(TARGET_DEFINITION.clauses[0])
+        assert example.head.is_ground()
+        assert all(atom.is_ground() for atom in example.body)
+
+    def test_query_counters(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        oracle.membership(canonical_grounding(TARGET_DEFINITION.clauses[0]))
+        oracle.equivalence(HornDefinition("target"))
+        counts = oracle.query_counts()
+        assert counts == {"equivalence_queries": 1, "membership_queries": 1}
+        oracle.reset_counts()
+        assert oracle.query_counts()["membership_queries"] == 0
+
+
+class TestA2Learner:
+    def test_learns_single_clause_definition_exactly(self):
+        target = parse_definition("target(x, y) :- parent(x, z), parent(z, y).")
+        oracle = HornOracle(target)
+        result = A2Learner().learn(oracle, "target")
+        assert result.converged
+        assert oracle.equivalence(result.hypothesis) is None
+
+    def test_learns_multi_clause_definition(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        result = A2Learner().learn(oracle, "target")
+        assert result.converged
+        assert len(result.hypothesis) == 2
+
+    def test_query_counts_are_reported(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        result = A2Learner().learn(oracle, "target")
+        assert result.equivalence_queries >= 2
+        assert result.membership_queries > 0
+        assert result.as_dict()["converged"]
+
+    def test_minimization_drops_irrelevant_body_atoms(self):
+        target = parse_definition("target(x) :- p(x, y).")
+        oracle = HornOracle(target)
+        learner = A2Learner()
+        noisy = GroundExample(
+            parse_clause("target(c0) :- p(c0, c1), q(c2, c3).").head,
+            parse_clause("target(c0) :- p(c0, c1), q(c2, c3).").body,
+        )
+        minimized = learner._minimize(noisy, oracle)
+        predicates = {atom.predicate for atom in minimized.body}
+        assert predicates == {"p"}
+
+    def test_more_decomposed_targets_need_more_membership_queries(self):
+        """The Figure 3 effect in miniature: longer bodies ⇒ more MQs."""
+        composed = parse_definition("target(x) :- wide(x, y, z).")
+        decomposed = parse_definition("target(x) :- left(x, y), middle(x, z), right(x, w).")
+        oracle_composed = HornOracle(composed)
+        oracle_decomposed = HornOracle(decomposed)
+        A2Learner().learn(oracle_composed, "target")
+        A2Learner().learn(oracle_decomposed, "target")
+        assert (
+            oracle_decomposed.membership_queries >= oracle_composed.membership_queries
+        )
+
+    def test_respects_equivalence_query_budget(self):
+        oracle = HornOracle(TARGET_DEFINITION)
+        result = A2Learner(A2Parameters(max_equivalence_queries=1)).learn(oracle, "target")
+        assert result.equivalence_queries <= 2
+
+
+class TestRandomDefinitions:
+    def test_generates_safe_definitions(self):
+        schema = uwcse.schema_variants()[3].schema  # denormalized2
+        generator = RandomDefinitionGenerator(
+            schema, RandomDefinitionConfig(num_clauses=2, num_variables=5), seed=11
+        )
+        definition = generator.generate()
+        assert len(definition) == 2
+        assert definition.is_safe()
+
+    def test_variable_budget_respected(self):
+        schema = uwcse.schema_variants()[3].schema
+        for budget in (4, 6, 8):
+            generator = RandomDefinitionGenerator(
+                schema, RandomDefinitionConfig(num_variables=budget), seed=3
+            )
+            clause = generator.generate().clauses[0]
+            assert len(clause.variables()) <= max(budget, clause.head.arity)
+
+    def test_deterministic_per_seed(self):
+        schema = uwcse.schema_variants()[0].schema
+        first = RandomDefinitionGenerator(schema, seed=5).generate()
+        second = RandomDefinitionGenerator(schema, seed=5).generate()
+        assert str(first) == str(second)
+
+    def test_generate_many(self):
+        schema = uwcse.schema_variants()[0].schema
+        definitions = RandomDefinitionGenerator(schema, seed=1).generate_many(5)
+        assert len(definitions) == 5

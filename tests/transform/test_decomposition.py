@@ -1,0 +1,105 @@
+"""Tests for decomposition/composition operations and schema rewriting."""
+
+import pytest
+
+from repro.database.constraints import InclusionDependency
+from repro.database.instance import DatabaseInstance
+from repro.database.schema import RelationSchema, Schema
+from repro.transform.decomposition import (
+    ComposeOperation,
+    DecomposeOperation,
+    apply_compose_to_schema,
+    apply_decompose_to_schema,
+    compose_rows,
+    decompose_rows,
+)
+
+
+class TestDecomposeOperation:
+    def test_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            DecomposeOperation("wide", [("only", ["a"])])
+
+    def test_validation_requires_full_attribute_cover(self, composed_schema):
+        operation = DecomposeOperation("wide", [("l", ["a"]), ("r", ["a", "b"])])
+        with pytest.raises(ValueError):
+            operation.validate_against(composed_schema)
+
+    def test_validation_rejects_disconnected_parts(self, composed_schema):
+        operation = DecomposeOperation("wide", [("l", ["a", "b"]), ("r", ["c"])])
+        with pytest.raises(ValueError):
+            operation.validate_against(composed_schema)
+
+    def test_generated_inds_are_equalities_on_shared_attributes(self):
+        operation = DecomposeOperation(
+            "wide", [("l", ["a", "b"]), ("r", ["a", "c"])]
+        )
+        inds = operation.generated_inds()
+        assert len(inds) == 1
+        assert inds[0].with_equality
+        assert inds[0].left_attrs == ("a",)
+
+    def test_apply_to_schema(self, composed_schema):
+        operation = DecomposeOperation("wide", [("l", ["a", "b"]), ("r", ["a", "c"])])
+        decomposed = apply_decompose_to_schema(composed_schema, operation)
+        assert set(decomposed.relation_names) == {"l", "r"}
+        # FD a -> b survives on the part containing both attributes.
+        assert any(fd.relation == "l" for fd in decomposed.functional_dependencies)
+        assert len(decomposed.equality_inds()) == 1
+
+    def test_decompose_rows_projects(self, composed_instance):
+        operation = DecomposeOperation("wide", [("l", ["a", "b"]), ("r", ["a", "c"])])
+        rows = decompose_rows(composed_instance, operation)
+        assert rows["l"] == {("a1", "b1"), ("a2", "b2"), ("a3", "b3")}
+        assert rows["r"] == {("a1", "c1"), ("a2", "c2"), ("a3", "c3")}
+
+
+class TestComposeOperation:
+    def make_schema(self) -> Schema:
+        return Schema(
+            [RelationSchema("l", ["a", "b"]), RelationSchema("r", ["a", "c"])],
+            [],
+            [InclusionDependency("l", ["a"], "r", ["a"], with_equality=True)],
+            name="pair",
+        )
+
+    def test_requires_two_relations(self):
+        with pytest.raises(ValueError):
+            ComposeOperation(["only"], "x")
+
+    def test_composed_attributes_default_order(self):
+        schema = self.make_schema()
+        operation = ComposeOperation(["l", "r"], "wide")
+        assert operation.composed_attributes(schema) == ("a", "b", "c")
+
+    def test_validation_rejects_disconnected_members(self):
+        schema = Schema(
+            [RelationSchema("l", ["a"]), RelationSchema("r", ["b"])], name="disc"
+        )
+        operation = ComposeOperation(["l", "r"], "wide")
+        with pytest.raises(ValueError):
+            operation.validate_against(schema)
+
+    def test_apply_to_schema(self):
+        schema = self.make_schema()
+        operation = ComposeOperation(["l", "r"], "wide")
+        composed = apply_compose_to_schema(schema, operation)
+        assert composed.relation_names == ["wide"]
+        # The IND between the two members disappears inside the composed relation.
+        assert composed.inclusion_dependencies == []
+
+    def test_compose_rows_joins(self):
+        schema = self.make_schema()
+        instance = DatabaseInstance(schema)
+        instance.add_tuples("l", [("1", "x"), ("2", "y")])
+        instance.add_tuples("r", [("1", "p"), ("2", "q")])
+        operation = ComposeOperation(["l", "r"], "wide")
+        rows = compose_rows(instance, operation)
+        assert rows == {("1", "x", "p"), ("2", "y", "q")}
+
+    def test_inverse_is_decomposition_of_members(self):
+        schema = self.make_schema()
+        operation = ComposeOperation(["l", "r"], "wide")
+        inverse = operation.inverse(schema)
+        assert inverse.relation == "wide"
+        assert dict(inverse.parts) == {"l": ("a", "b"), "r": ("a", "c")}
