@@ -1,0 +1,1 @@
+"""Benchmark package (gives bench modules a package context for relative imports)."""

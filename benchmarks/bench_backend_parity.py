@@ -1,0 +1,185 @@
+"""Backend parity + speed benchmark: memory vs sqlite coverage testing.
+
+Times query-based coverage (the Section 7.5.2 hot path) on the UW-CSE and
+HIV workloads under both storage/evaluation backends:
+
+* ``memory`` — the dict-indexed tuple-at-a-time Python backtracking join,
+  one evaluator call per (clause, example);
+* ``sqlite`` — compiled set-at-a-time SQL: one statement per clause tests
+  the whole example set (the Python analogue of the paper's stored-procedure
+  path, Table 13).
+
+The script asserts that both backends cover **identical** example sets for
+every candidate clause (parity), then reports wall-clock times and the
+sqlite speedup.  Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backend_parity.py [--quick]
+        [--backend {memory,sqlite,both}] [--repeats N] [--seed N]
+
+Exit status is non-zero on any parity mismatch, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.castor.bottom_clause import CastorBottomClauseBuilder, CastorBottomClauseConfig
+from repro.database.instance import DatabaseInstance
+from repro.datasets import hiv, uwcse
+from repro.learning.coverage import QueryCoverageEngine
+from repro.learning.examples import Example
+from repro.logic.clauses import HornClause
+
+
+def candidate_clauses(
+    instance: DatabaseInstance, examples: Sequence[Example], count: int
+) -> List[HornClause]:
+    """Variablized Castor bottom clauses of the first ``count`` positives.
+
+    These are exactly the clauses the covering loop would submit to coverage
+    testing; their bodies are kept below the SQL join limit by the config.
+    """
+    builder = CastorBottomClauseBuilder(
+        instance,
+        config=CastorBottomClauseConfig(
+            max_depth=2, max_distinct_variables=12, max_total_literals=25
+        ),
+    )
+    clauses: List[HornClause] = []
+    for example in examples[:count]:
+        clause = builder.build(example)
+        if clause.body:
+            clauses.append(clause)
+    return clauses
+
+
+def time_coverage(
+    instance: DatabaseInstance,
+    clauses: Sequence[HornClause],
+    examples: Sequence[Example],
+    repeats: int,
+) -> Tuple[float, List[frozenset]]:
+    """Best-of-``repeats`` wall time plus per-clause covered example sets."""
+    engine = QueryCoverageEngine(instance)
+    covered: List[frozenset] = []
+    best = float("inf")
+    for _ in range(repeats):
+        engine = QueryCoverageEngine(instance)
+        start = time.perf_counter()
+        covered = [
+            frozenset(e.values for e in engine.covered_examples(clause, examples))
+            for clause in clauses
+        ]
+        best = min(best, time.perf_counter() - start)
+    return best, covered
+
+
+def run_workload(
+    name: str,
+    bundle,
+    backends: Sequence[str],
+    repeats: int,
+) -> Tuple[Dict[str, float], bool]:
+    """Benchmark one dataset; returns per-backend seconds and parity flag."""
+    variant = bundle.variant_names[0]
+    base_instance = bundle.instance(variant)
+    examples = bundle.examples.all_examples()
+    clauses = candidate_clauses(base_instance, bundle.examples.positives, count=6)
+    print(
+        f"\n[{name}] variant={variant} tuples={base_instance.total_tuples()} "
+        f"examples={len(examples)} clauses={len(clauses)} "
+        f"(mean body length "
+        f"{sum(len(c.body) for c in clauses) / max(1, len(clauses)):.1f})"
+    )
+
+    seconds: Dict[str, float] = {}
+    results: Dict[str, List[frozenset]] = {}
+    for backend in backends:
+        instance = (
+            base_instance
+            if backend == base_instance.backend_name
+            else base_instance.with_backend(backend)
+        )
+        seconds[backend], results[backend] = time_coverage(
+            instance, clauses, examples, repeats
+        )
+        total_covered = sum(len(s) for s in results[backend])
+        print(
+            f"  {backend:>7}: {seconds[backend] * 1000:8.1f} ms  "
+            f"({total_covered} covered pairs)"
+        )
+
+    parity = True
+    if len(backends) == 2:
+        first, second = backends
+        for index, (a, b) in enumerate(zip(results[first], results[second])):
+            if a != b:
+                parity = False
+                print(
+                    f"  PARITY MISMATCH on clause {index}: "
+                    f"{sorted(a ^ b)} differ between {first} and {second}"
+                )
+        if parity:
+            print(f"  parity: identical covered sets across {first}/{second}")
+        if seconds[second] > 0:
+            print(
+                f"  speedup ({first}/{second}): "
+                f"{seconds[first] / seconds[second]:.2f}x"
+            )
+    return seconds, parity
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=["memory", "sqlite", "both"],
+        default="both",
+        help="which storage/evaluation backend(s) to run (default: both)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small datasets, one repeat (CI smoke)"
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    backends = ["memory", "sqlite"] if args.backend == "both" else [args.backend]
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    if args.quick:
+        uwcse_config = uwcse.UwCseConfig(num_students=15, num_professors=5, num_courses=8)
+        hiv_config = hiv.HivConfig(num_compounds=20, min_atoms=3, max_atoms=4)
+    else:
+        uwcse_config = uwcse.UwCseConfig(num_students=40, num_professors=12, num_courses=18)
+        hiv_config = hiv.HivConfig(num_compounds=60, min_atoms=3, max_atoms=6)
+
+    all_parity = True
+    uwcse_seconds, parity = run_workload(
+        "uwcse", uwcse.load(uwcse_config, seed=args.seed), backends, repeats
+    )
+    all_parity &= parity
+    _, parity = run_workload(
+        "hiv", hiv.load(hiv_config, seed=args.seed), backends, repeats
+    )
+    all_parity &= parity
+
+    if len(backends) == 2:
+        if not all_parity:
+            print("\nFAIL: backends disagree on covered examples")
+            return 1
+        if uwcse_seconds["sqlite"] <= uwcse_seconds["memory"]:
+            print("\nPASS: parity holds; sqlite >= memory speed on UW-CSE")
+        else:
+            print(
+                "\nWARN: parity holds but sqlite was slower than memory on UW-CSE "
+                f"({uwcse_seconds['sqlite']:.3f}s vs {uwcse_seconds['memory']:.3f}s)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -168,10 +168,14 @@ class CastorLearner(ProGolemLearner):
         schema: Schema,
         parameters: Optional[CastorParameters] = None,
         threads: int = 1,
+        backend: Optional[str] = None,
     ):
         super().__init__(schema, parameters or CastorParameters(), threads=threads)
         self.parameters: CastorParameters = self.parameters
         self._working_schema: Optional[Schema] = None
+        # Storage/evaluation backend the learner wants the instance on
+        # (None = use the instance as given).
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     def working_schema_for(self, instance: DatabaseInstance) -> Schema:
@@ -215,6 +219,8 @@ class CastorLearner(ProGolemLearner):
         )
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
+        if self.backend is not None and self.backend != instance.backend_name:
+            instance = instance.with_backend(self.backend)
         definition = super().learn(instance, examples)
         if self.parameters.ensure_safe:
             safe_clauses = [clause for clause in definition if clause.is_safe()]

@@ -5,6 +5,14 @@ relational algebra over named rows, conjunctive-query evaluation, and CSV
 persistence.
 """
 
+from .backend import (
+    Backend,
+    MemoryBackend,
+    RelationBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from .algebra import (
     join_is_globally_consistent,
     join_is_pairwise_consistent,
@@ -27,8 +35,18 @@ from .instance import DatabaseInstance, RelationInstance
 from .query import QueryEvaluator, evaluate_clause, evaluate_definition
 from .schema import RelationSchema, Schema
 
+from .sqlite_backend import SQLiteBackend, SQLiteRelation
+
 __all__ = [
+    "Backend",
     "DatabaseInstance",
+    "MemoryBackend",
+    "RelationBackend",
+    "SQLiteBackend",
+    "SQLiteRelation",
+    "backend_names",
+    "create_backend",
+    "register_backend",
     "FunctionalDependency",
     "InclusionClass",
     "InclusionDependency",

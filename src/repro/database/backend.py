@@ -1,0 +1,168 @@
+"""Pluggable storage/evaluation backends for database instances.
+
+The paper's Castor gets its performance from delegating storage and the hot
+evaluation loops (bottom-clause lookups, coverage queries) to an in-memory
+RDBMS (VoltDB, Section 7).  This module defines the seam that makes the
+substrate swappable:
+
+* :class:`RelationBackend` — the per-relation storage interface (insert,
+  delete, indexed lookup by value and by ``(position, value)``, projection);
+* :class:`Backend` — the per-instance factory that creates relation stores
+  and may additionally expose *set-at-a-time* query evaluation (see
+  :mod:`repro.database.sqlite_backend`);
+* a name registry so callers can select a backend with a plain string
+  (``"memory"`` or ``"sqlite"``), e.g. ``DatabaseInstance(schema,
+  backend="sqlite")`` or an experiment-harness ``--backend`` knob.
+
+The dict-based :class:`~repro.database.instance.RelationInstance` is the
+``memory`` backend's relation store; it remains the default.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from .schema import RelationSchema
+
+Row = Tuple[object, ...]
+
+
+@runtime_checkable
+class RelationBackend(Protocol):
+    """Storage interface one relation's extension must provide.
+
+    Implementations hold a set of positional tuples and answer the indexed
+    lookups bottom-clause construction and join evaluation rely on.
+    """
+
+    schema: RelationSchema
+
+    def add(self, row: Sequence[object]) -> None:
+        """Insert a tuple; exact duplicates are ignored."""
+        ...
+
+    def add_all(self, rows: Iterable[Sequence[object]]) -> None:
+        ...
+
+    def remove(self, row: Sequence[object]) -> None:
+        """Delete a tuple; raises KeyError if absent."""
+        ...
+
+    @property
+    def rows(self) -> Set[Row]:
+        ...
+
+    def tuples_containing(self, value: object) -> Set[Row]:
+        """All tuples mentioning ``value`` in any column."""
+        ...
+
+    def tuples_with(self, position: int, value: object) -> Set[Row]:
+        """All tuples with ``value`` in column ``position``."""
+        ...
+
+    def tuples_matching(self, bindings: Dict[int, object]) -> Set[Row]:
+        """Tuples matching all ``position -> value`` bindings."""
+        ...
+
+    def project(self, attributes: Sequence[str]) -> Set[Row]:
+        ...
+
+    def distinct_values(self, attribute: str) -> Set[object]:
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def __iter__(self) -> Iterator[Row]:
+        ...
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        ...
+
+
+class Backend(Protocol):
+    """Factory for relation stores, one instance per :class:`DatabaseInstance`.
+
+    A backend may additionally support *compiled* set-at-a-time query
+    evaluation by setting ``supports_compiled_queries = True`` and providing
+    the hooks :class:`~repro.database.query.QueryEvaluator` probes for
+    (``satisfiable``, ``count_bindings``, ``head_tuples``,
+    ``covered_head_tuples``, ``iter_bindings``).  Backends without the flag
+    are evaluated through the generic tuple-at-a-time backtracking join.
+    """
+
+    name: str
+    supports_compiled_queries: bool
+
+    def make_relation(self, schema: RelationSchema) -> RelationBackend:
+        """Create the (empty) store for one relation of the instance."""
+        ...
+
+
+class MemoryBackend:
+    """The default backend: hash-indexed Python sets (one per relation)."""
+
+    name = "memory"
+    supports_compiled_queries = False
+
+    def make_relation(self, schema: RelationSchema) -> RelationBackend:
+        from .instance import RelationInstance
+
+        return RelationInstance(schema)
+
+
+BackendFactory = Callable[[], Backend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend factory under a selector name."""
+    _REGISTRY[str(name)] = factory
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`create_backend` (and ``--backend`` knobs)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(backend: Union[str, Backend, None]) -> Backend:
+    """Resolve a backend selector into a fresh backend object.
+
+    Accepts ``None`` (the default memory backend), a registered name, or an
+    already-constructed backend object (returned as-is — note a backend
+    object serves exactly one :class:`DatabaseInstance`; instances never
+    share relation stores).
+    """
+    if backend is None:
+        backend = "memory"
+    if not isinstance(backend, str):
+        return backend
+    try:
+        factory = _REGISTRY[backend]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {list(backend_names())}"
+        ) from exc
+    return factory()
+
+
+def _sqlite_factory() -> Backend:
+    from .sqlite_backend import SQLiteBackend
+
+    return SQLiteBackend()
+
+
+register_backend("memory", MemoryBackend)
+register_backend("sqlite", _sqlite_factory)

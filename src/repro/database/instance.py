@@ -4,12 +4,19 @@ This module plays the role of the in-memory RDBMS (VoltDB in the paper): it
 stores tuples, maintains hash indexes from constants to tuples so that
 bottom-clause construction can find "all tuples containing constant ``a``" in
 O(1) per tuple, and checks FDs/INDs on demand.
+
+:class:`RelationInstance` is the relation store of the default ``memory``
+backend.  :class:`DatabaseInstance` is backend-agnostic: pass
+``backend="sqlite"`` (or any name registered in
+:mod:`repro.database.backend`) to materialize the instance in a different
+storage/evaluation engine with the same interface.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from .backend import Backend, RelationBackend, create_backend
 from .constraints import FunctionalDependency, InclusionDependency
 from .schema import RelationSchema, Schema
 
@@ -119,10 +126,13 @@ class RelationInstance:
         return tuple(row) in self._rows
 
     def __eq__(self, other: object) -> bool:
+        # Duck-typed so relation stores of different backends compare by
+        # contents (e.g. memory vs sqlite parity checks).
         return (
-            isinstance(other, RelationInstance)
+            hasattr(other, "schema")
+            and hasattr(other, "rows")
             and other.schema == self.schema
-            and other._rows == self._rows
+            and set(other.rows) == self._rows
         )
 
     def __repr__(self) -> str:
@@ -130,25 +140,39 @@ class RelationInstance:
 
 
 class DatabaseInstance:
-    """An instance of a schema: one relation instance per relation symbol."""
+    """An instance of a schema: one relation store per relation symbol.
 
-    def __init__(self, schema: Schema):
+    The storage/evaluation engine is pluggable: ``backend`` may be a name
+    (``"memory"``, ``"sqlite"``) or a pre-built backend object.  Every
+    relation store of one instance is created by the same backend, so
+    backends that compile multi-relation queries (SQLite) can join across
+    relations in a single statement.
+    """
+
+    def __init__(self, schema: Schema, backend: Union[str, Backend, None] = None):
         self.schema = schema
-        self._relations: Dict[str, RelationInstance] = {
-            relation.name: RelationInstance(relation) for relation in schema.relations
+        self.backend: Backend = create_backend(backend)
+        self._relations: Dict[str, RelationBackend] = {
+            relation.name: self.backend.make_relation(relation)
+            for relation in schema.relations
         }
+
+    @property
+    def backend_name(self) -> str:
+        """The selector name of this instance's backend (``memory``, ``sqlite``)."""
+        return self.backend.name
 
     # ------------------------------------------------------------------ #
     # Access
     # ------------------------------------------------------------------ #
-    def relation(self, name: str) -> RelationInstance:
+    def relation(self, name: str) -> RelationBackend:
         """The instance of relation ``name``."""
         try:
             return self._relations[name]
         except KeyError as exc:
             raise KeyError(f"relation {name!r} not in instance") from exc
 
-    def relations(self) -> List[RelationInstance]:
+    def relations(self) -> List[RelationBackend]:
         return list(self._relations.values())
 
     def add_tuple(self, relation: str, row: Sequence[object]) -> None:
@@ -231,8 +255,12 @@ class DatabaseInstance:
     # Comparison / copying
     # ------------------------------------------------------------------ #
     def copy(self) -> "DatabaseInstance":
-        """Deep-ish copy: new relation instances sharing immutable tuples."""
-        duplicate = DatabaseInstance(self.schema)
+        """Deep-ish copy: new relation stores (same backend kind) sharing tuples."""
+        return self.with_backend(self.backend_name)
+
+    def with_backend(self, backend: Union[str, Backend, None]) -> "DatabaseInstance":
+        """Materialize the same contents in a (possibly different) backend."""
+        duplicate = DatabaseInstance(self.schema, backend=backend)
         for name, instance in self._relations.items():
             duplicate.add_tuples(name, instance.rows)
         return duplicate

@@ -11,6 +11,11 @@ The same machinery powers:
 * labeling examples from a hidden ground-truth definition (datasets),
 * definition-equivalence checks across schema transformations,
 * FOIL's coverage counts over the extensional database.
+
+When the instance's backend supports compiled queries (the SQLite backend),
+the evaluator delegates to single set-at-a-time SQL statements instead of
+the Python backtracking join; bodies the backend cannot compile fall back
+to the generic path transparently.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from ..logic.atoms import Atom
 from ..logic.clauses import HornClause, HornDefinition
 from ..logic.terms import Constant, Term, Variable
 from .instance import DatabaseInstance
+from .sqlite_backend import CompilationNotSupported
 
 Binding = Dict[Variable, object]
 
@@ -31,6 +37,13 @@ class QueryEvaluator:
     def __init__(self, instance: DatabaseInstance, max_results: Optional[int] = None):
         self.instance = instance
         self.max_results = max_results
+        backend = getattr(instance, "backend", None)
+        self._compiled = (
+            backend
+            if backend is not None
+            and getattr(backend, "supports_compiled_queries", False)
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -43,6 +56,11 @@ class QueryEvaluator:
         """
         if not clause.is_safe():
             raise ValueError(f"cannot evaluate unsafe clause: {clause}")
+        if self._compiled is not None and clause.body:
+            try:
+                return self._compiled.head_tuples(clause, self.max_results)
+            except CompilationNotSupported:
+                pass
         results: Set[Tuple[object, ...]] = set()
         for binding in self.bindings_for_body(clause.body):
             head_tuple = tuple(
@@ -62,6 +80,11 @@ class QueryEvaluator:
 
     def body_is_satisfiable(self, body: Sequence[Atom], binding: Optional[Binding] = None) -> bool:
         """True when the body has at least one satisfying assignment."""
+        if self._compiled is not None:
+            try:
+                return self._compiled.satisfiable(body, binding)
+            except CompilationNotSupported:
+                pass
         for _ in self.bindings_for_body(body, binding):
             return True
         return False
@@ -97,8 +120,33 @@ class QueryEvaluator:
             self.clause_covers_tuple(clause, head_values) for clause in definition
         )
 
+    def covered_tuples(
+        self, clause: HornClause, candidates: Sequence[Sequence[object]]
+    ) -> Set[Tuple[object, ...]]:
+        """The subset of candidate head tuples the clause derives.
+
+        On backends with compiled queries this is **one** set-at-a-time
+        statement for the whole candidate list (the stored-procedure analogue
+        of Section 7.5.2); otherwise it loops ``clause_covers_tuple``.
+        """
+        if self._compiled is not None:
+            try:
+                return self._compiled.covered_head_tuples(clause, candidates)
+            except CompilationNotSupported:
+                pass
+        return {
+            tuple(candidate)
+            for candidate in candidates
+            if self.clause_covers_tuple(clause, candidate)
+        }
+
     def count_bindings(self, body: Sequence[Atom], limit: Optional[int] = None) -> int:
         """Number of satisfying assignments of the body (used by FOIL's gain)."""
+        if self._compiled is not None:
+            try:
+                return self._compiled.count_bindings(body, limit)
+            except CompilationNotSupported:
+                pass
         count = 0
         for _ in self.bindings_for_body(body):
             count += 1
@@ -116,8 +164,15 @@ class QueryEvaluator:
 
         Atoms are evaluated in an order chosen greedily: at each step the atom
         with the most bound arguments (and smallest relation as tie-break) is
-        evaluated next, which keeps intermediate result sizes small.
+        evaluated next, which keeps intermediate result sizes small.  On
+        compiled backends the enumeration runs as a single SQL statement.
         """
+        if self._compiled is not None:
+            try:
+                yield from self._compiled.iter_bindings(body, initial)
+                return
+            except CompilationNotSupported:
+                pass
         remaining = list(body)
         order = self._plan(remaining, set((initial or {}).keys()))
         yield from self._join(order, 0, dict(initial or {}))

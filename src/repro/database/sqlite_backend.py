@@ -1,0 +1,561 @@
+"""SQLite storage/evaluation backend: the Python analogue of Castor's VoltDB.
+
+The paper pushes bottom-clause construction and coverage testing into an
+in-memory RDBMS via stored procedures (Section 7 / Table 13).  This backend
+reproduces the architectural move with the standard-library ``sqlite3``:
+
+* every relation is materialized as an indexed table (one index per column,
+  a UNIQUE constraint over the full row for set semantics);
+* conjunctive clause bodies are **compiled into single SQL statements** —
+  satisfiability, binding enumeration, head-tuple computation, and
+  FOIL-style binding counts all run set-at-a-time inside SQLite's join
+  planner instead of the tuple-at-a-time Python backtracking join;
+* query-based coverage of a whole example set is one statement: the example
+  tuples are loaded into a temp table and joined against an ``EXISTS`` of
+  the compiled body, so testing a clause against N examples costs one
+  round-trip rather than N evaluator calls.
+
+Values must be SQLite-storable (``str``/``int``/``float``/``bytes``/bool).
+Anything else raises :class:`BackendValueError` on insert; lookups for such
+values simply return the empty set (they cannot have been stored).  Bodies
+the compiler cannot express (e.g. more atoms than SQLite's join limit) raise
+:class:`CompilationNotSupported`, and the caller falls back to the generic
+tuple-at-a-time path.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.clauses import HornClause
+from ..logic.terms import Constant, Variable
+from .schema import RelationSchema
+
+Row = Tuple[object, ...]
+
+# SQLite refuses joins of more than 64 tables; stay safely below.
+MAX_COMPILED_ATOMS = 60
+
+_STORABLE_TYPES = (str, int, float, bytes)
+
+
+class BackendValueError(TypeError):
+    """A value cannot be stored by the SQLite backend."""
+
+
+class CompilationNotSupported(Exception):
+    """The body/clause cannot be compiled to a single SQL statement.
+
+    Callers catch this and fall back to generic tuple-at-a-time evaluation.
+    """
+
+
+def _storable(value: object) -> object:
+    """Map a Python value to its SQLite representation, or raise."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        # SQLite integers are 64-bit; out-of-range ints would raise an
+        # uncatchable-at-this-layer OverflowError inside sqlite3 otherwise.
+        if -(2**63) <= value < 2**63:
+            return value
+    elif value is not None and isinstance(value, _STORABLE_TYPES):
+        return value
+    raise BackendValueError(
+        f"sqlite backend cannot store value {value!r} of type {type(value).__name__}"
+    )
+
+
+def _quote(identifier: str) -> str:
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+_SERIALIZED: Optional[bool] = None
+
+
+def _sqlite_is_serialized() -> bool:
+    """Whether the linked SQLite is in serialized (fully thread-safe) mode.
+
+    ``sqlite3.threadsafety`` only reflects the real build since Python 3.11
+    (it is hardcoded to 1 on older versions), so fall back to the compile
+    options for 3.9/3.10.
+    """
+    global _SERIALIZED
+    if _SERIALIZED is None:
+        if sqlite3.threadsafety == 3:
+            _SERIALIZED = True
+        else:
+            probe = sqlite3.connect(":memory:")
+            try:
+                options = {row[0] for row in probe.execute("PRAGMA compile_options")}
+            finally:
+                probe.close()
+            _SERIALIZED = "THREADSAFE=1" in options
+    return _SERIALIZED
+
+
+class SQLiteRelation:
+    """One relation's extension as an indexed SQLite table.
+
+    Implements the :class:`~repro.database.backend.RelationBackend` interface
+    so it is a drop-in replacement for the dict-based ``RelationInstance``.
+    """
+
+    def __init__(self, schema: RelationSchema, connection: sqlite3.Connection):
+        if schema.arity == 0:
+            raise ValueError(
+                f"sqlite backend requires relations of arity >= 1, got {schema.name!r}"
+            )
+        self.schema = schema
+        self._connection = connection
+        self._table = _quote(f"rel_{schema.name}")
+        columns = ", ".join(f"c{i}" for i in range(schema.arity))
+        self._connection.execute(
+            f"CREATE TABLE {self._table} ({columns}, UNIQUE ({columns}))"
+        )
+        for i in range(schema.arity):
+            index_name = _quote(f"idx_{schema.name}_c{i}")
+            self._connection.execute(
+                f"CREATE INDEX {index_name} ON {self._table} (c{i})"
+            )
+        self._placeholders = ", ".join("?" for _ in range(schema.arity))
+        self._all_match = " AND ".join(f"c{i} = ?" for i in range(schema.arity))
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _check_arity(self, row: Sequence[object]) -> Row:
+        row_tuple: Row = tuple(row)
+        if len(row_tuple) != self.schema.arity:
+            raise ValueError(
+                f"tuple arity {len(row_tuple)} does not match relation "
+                f"{self.schema.name!r} arity {self.schema.arity}"
+            )
+        return row_tuple
+
+    def add(self, row: Sequence[object]) -> None:
+        """Insert a tuple; silently ignores exact duplicates."""
+        row_tuple = self._check_arity(row)
+        values = tuple(_storable(v) for v in row_tuple)
+        self._connection.execute(
+            f"INSERT OR IGNORE INTO {self._table} VALUES ({self._placeholders})",
+            values,
+        )
+
+    def add_all(self, rows: Iterable[Sequence[object]]) -> None:
+        prepared = [
+            tuple(_storable(v) for v in self._check_arity(row)) for row in rows
+        ]
+        self._connection.executemany(
+            f"INSERT OR IGNORE INTO {self._table} VALUES ({self._placeholders})",
+            prepared,
+        )
+
+    def remove(self, row: Sequence[object]) -> None:
+        """Delete a tuple; raises KeyError if absent."""
+        row_tuple = self._check_arity(row)
+        try:
+            values = tuple(_storable(v) for v in row_tuple)
+        except BackendValueError:
+            values = None
+        if values is not None:
+            cursor = self._connection.execute(
+                f"DELETE FROM {self._table} WHERE {self._all_match}", values
+            )
+            if cursor.rowcount > 0:
+                return
+        raise KeyError(f"tuple {row_tuple!r} not in relation {self.schema.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> Set[Row]:
+        """The set of tuples (materialized from the table)."""
+        cursor = self._connection.execute(f"SELECT * FROM {self._table}")
+        return {tuple(row) for row in cursor}
+
+    def tuples_containing(self, value: object) -> Set[Row]:
+        """All tuples mentioning ``value`` in any column."""
+        try:
+            stored = _storable(value)
+        except BackendValueError:
+            return set()
+        condition = " OR ".join(f"c{i} = ?" for i in range(self.schema.arity))
+        cursor = self._connection.execute(
+            f"SELECT * FROM {self._table} WHERE {condition}",
+            tuple(stored for _ in range(self.schema.arity)),
+        )
+        return {tuple(row) for row in cursor}
+
+    def tuples_with(self, position: int, value: object) -> Set[Row]:
+        """All tuples with ``value`` in column ``position``."""
+        return self.tuples_matching({position: value})
+
+    def tuples_matching(self, bindings: Dict[int, object]) -> Set[Row]:
+        """Tuples matching all ``position -> value`` bindings (index-backed)."""
+        if not bindings:
+            return self.rows
+        conditions: List[str] = []
+        params: List[object] = []
+        for position, value in bindings.items():
+            if not 0 <= position < self.schema.arity:
+                return set()
+            try:
+                params.append(_storable(value))
+            except BackendValueError:
+                return set()
+            conditions.append(f"c{position} = ?")
+        cursor = self._connection.execute(
+            f"SELECT * FROM {self._table} WHERE {' AND '.join(conditions)}",
+            tuple(params),
+        )
+        return {tuple(row) for row in cursor}
+
+    def project(self, attributes: Sequence[str]) -> Set[Row]:
+        """Projection π_attributes of this relation (as a set of tuples)."""
+        positions = self.schema.positions_of(attributes)
+        columns = ", ".join(f"c{p}" for p in positions)
+        cursor = self._connection.execute(
+            f"SELECT DISTINCT {columns} FROM {self._table}"
+        )
+        return {tuple(row) for row in cursor}
+
+    def distinct_values(self, attribute: str) -> Set[object]:
+        """Distinct values of one attribute."""
+        position = self.schema.position_of(attribute)
+        cursor = self._connection.execute(
+            f"SELECT DISTINCT c{position} FROM {self._table}"
+        )
+        return {row[0] for row in cursor}
+
+    def __len__(self) -> int:
+        cursor = self._connection.execute(f"SELECT COUNT(*) FROM {self._table}")
+        return int(cursor.fetchone()[0])
+
+    def __iter__(self) -> Iterator[Row]:
+        cursor = self._connection.execute(f"SELECT * FROM {self._table}")
+        return iter([tuple(row) for row in cursor])
+
+    def __contains__(self, row: Sequence[object]) -> bool:
+        row_tuple = tuple(row)
+        if len(row_tuple) != self.schema.arity:
+            return False
+        try:
+            values = tuple(_storable(v) for v in row_tuple)
+        except BackendValueError:
+            return False
+        cursor = self._connection.execute(
+            f"SELECT 1 FROM {self._table} WHERE {self._all_match} LIMIT 1", values
+        )
+        return cursor.fetchone() is not None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            hasattr(other, "schema")
+            and hasattr(other, "rows")
+            and other.schema == self.schema
+            and other.rows == self.rows
+        )
+
+    def __repr__(self) -> str:
+        return f"SQLiteRelation({self.schema.name!r}, {len(self)} tuples)"
+
+
+class _CompiledBody:
+    """A conjunctive body translated to SQL FROM/WHERE fragments.
+
+    ``empty`` marks bodies that are statically unsatisfiable on this instance
+    (unknown relation, arity mismatch, unstorable constant) — their result is
+    the empty set, which is exactly what the tuple-at-a-time join would
+    produce, so no fallback is needed.
+    """
+
+    __slots__ = ("from_items", "where", "params", "variable_columns", "empty")
+
+    def __init__(self) -> None:
+        self.from_items: List[str] = []
+        self.where: List[str] = []
+        self.params: List[object] = []
+        self.variable_columns: Dict[Variable, str] = {}
+        self.empty = False
+
+
+class SQLiteBackend:
+    """Relation storage plus compiled set-at-a-time query evaluation.
+
+    One backend object owns one in-memory SQLite connection shared by every
+    relation of a :class:`~repro.database.instance.DatabaseInstance`, so
+    multi-relation joins run inside a single statement.
+    """
+
+    name = "sqlite"
+    supports_compiled_queries = True
+
+    def __init__(self, connection: Optional[sqlite3.Connection] = None):
+        if connection is None:
+            # With a serialized SQLite build the library itself locks around
+            # every call, so the connection may be shared by the coverage
+            # engine's worker threads.
+            connection = sqlite3.connect(
+                ":memory:", check_same_thread=not _sqlite_is_serialized()
+            )
+        self._connection = connection
+        self._connection.execute("PRAGMA temp_store = MEMORY")
+        self._relations: Dict[str, SQLiteRelation] = {}
+        self._temp_counter = 0
+
+    def make_relation(self, schema: RelationSchema) -> SQLiteRelation:
+        if schema.name in self._relations:
+            raise ValueError(
+                f"relation {schema.name!r} already exists on this backend; "
+                "a SQLiteBackend object serves exactly one DatabaseInstance"
+            )
+        relation = SQLiteRelation(schema, self._connection)
+        self._relations[schema.name] = relation
+        return relation
+
+    # ------------------------------------------------------------------ #
+    # Body compilation
+    # ------------------------------------------------------------------ #
+    def _compile_body(
+        self,
+        body: Sequence[Atom],
+        binding: Optional[Dict[Variable, object]] = None,
+        outer_columns: Optional[Dict[Variable, str]] = None,
+    ) -> _CompiledBody:
+        """Translate a conjunctive body into FROM/WHERE fragments.
+
+        ``binding`` pins variables to concrete values (the initial binding of
+        the backtracking join); ``outer_columns`` pins variables to columns of
+        an enclosing query (used by set-at-a-time coverage, where head
+        variables reference the candidate-example temp table).
+        """
+        if len(body) > MAX_COMPILED_ATOMS:
+            raise CompilationNotSupported(
+                f"body has {len(body)} atoms, above the {MAX_COMPILED_ATOMS}-way join limit"
+            )
+        compiled = _CompiledBody()
+        if outer_columns:
+            compiled.variable_columns.update(outer_columns)
+        binding = binding or {}
+        for alias_index, atom in enumerate(body):
+            relation = self._relations.get(atom.predicate)
+            if relation is None or relation.schema.arity != atom.arity:
+                compiled.empty = True
+                return compiled
+            alias = f"a{alias_index}"
+            compiled.from_items.append(f"{relation._table} AS {alias}")
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.c{position}"
+                if isinstance(term, Constant):
+                    try:
+                        compiled.params.append(_storable(term.value))
+                    except BackendValueError:
+                        compiled.empty = True
+                        return compiled
+                    compiled.where.append(f"{column} = ?")
+                    continue
+                if term in binding:
+                    try:
+                        compiled.params.append(_storable(binding[term]))
+                    except BackendValueError:
+                        compiled.empty = True
+                        return compiled
+                    compiled.where.append(f"{column} = ?")
+                    # The variable stays addressable for SELECT projections.
+                    compiled.variable_columns.setdefault(term, column)
+                    continue
+                known = compiled.variable_columns.get(term)
+                if known is None:
+                    compiled.variable_columns[term] = column
+                else:
+                    compiled.where.append(f"{column} = {known}")
+        return compiled
+
+    @staticmethod
+    def _sql_for(compiled: _CompiledBody, select: str) -> str:
+        sql = f"SELECT {select} FROM {', '.join(compiled.from_items)}"
+        if compiled.where:
+            sql += " WHERE " + " AND ".join(compiled.where)
+        return sql
+
+    # ------------------------------------------------------------------ #
+    # Set-at-a-time evaluation (probed by QueryEvaluator)
+    # ------------------------------------------------------------------ #
+    def satisfiable(
+        self, body: Sequence[Atom], binding: Optional[Dict[Variable, object]] = None
+    ) -> bool:
+        """One satisfying assignment exists (``SELECT 1 ... LIMIT 1``)."""
+        if not body:
+            return True
+        compiled = self._compile_body(body, binding)
+        if compiled.empty:
+            return False
+        sql = self._sql_for(compiled, "1") + " LIMIT 1"
+        return self._connection.execute(sql, compiled.params).fetchone() is not None
+
+    def count_bindings(
+        self, body: Sequence[Atom], limit: Optional[int] = None
+    ) -> int:
+        """Number of satisfying assignments, optionally capped at ``limit``."""
+        if not body:
+            return 1 if limit is None or limit >= 1 else 0
+        compiled = self._compile_body(body)
+        if compiled.empty:
+            return 0
+        inner = self._sql_for(compiled, "1")
+        if limit is not None:
+            inner += f" LIMIT {int(limit)}"
+        cursor = self._connection.execute(
+            f"SELECT COUNT(*) FROM ({inner})", compiled.params
+        )
+        return int(cursor.fetchone()[0])
+
+    def iter_bindings(
+        self, body: Sequence[Atom], binding: Optional[Dict[Variable, object]] = None
+    ) -> Iterator[Dict[Variable, object]]:
+        """Enumerate satisfying assignments of the body's variables."""
+        base = dict(binding or {})
+        if not body:
+            yield dict(base)
+            return
+        compiled = self._compile_body(body, binding)
+        if compiled.empty:
+            return
+        variables = [
+            v for v in compiled.variable_columns if v not in base
+        ]
+        if not variables:
+            if self.satisfiable(body, binding):
+                yield dict(base)
+            return
+        select = ", ".join(compiled.variable_columns[v] for v in variables)
+        cursor = self._connection.execute(
+            self._sql_for(compiled, select), compiled.params
+        )
+        for row in cursor:
+            result = dict(base)
+            result.update(zip(variables, row))
+            yield result
+
+    def head_tuples(
+        self, clause: HornClause, max_results: Optional[int] = None
+    ) -> Set[Row]:
+        """All head tuples produced by a (safe) clause, as one SELECT DISTINCT."""
+        if not clause.body:
+            raise CompilationNotSupported("empty body: nothing to join")
+        compiled = self._compile_body(clause.body)
+        if compiled.empty:
+            return set()
+        select_parts: List[str] = []
+        head_params: List[object] = []
+        for term in clause.head.terms:
+            if isinstance(term, Constant):
+                try:
+                    head_params.append(_storable(term.value))
+                except BackendValueError:
+                    raise CompilationNotSupported(
+                        f"unstorable head constant {term.value!r}"
+                    )
+                select_parts.append("?")
+                continue
+            column = compiled.variable_columns.get(term)
+            if column is None:
+                raise ValueError(f"unbound head variable {term}")
+            select_parts.append(column)
+        sql = self._sql_for(compiled, "DISTINCT " + ", ".join(select_parts))
+        if max_results is not None:
+            sql += f" LIMIT {int(max_results)}"
+        cursor = self._connection.execute(sql, head_params + compiled.params)
+        return {tuple(row) for row in cursor}
+
+    def covered_head_tuples(
+        self, clause: HornClause, candidates: Sequence[Sequence[object]]
+    ) -> Set[Row]:
+        """The subset of candidate head tuples the clause derives — one query.
+
+        This is the set-at-a-time coverage test (the paper's stored-procedure
+        path): the candidates are loaded into a temp table and filtered by an
+        ``EXISTS`` over the compiled body, so the whole example set is tested
+        in a single statement.
+        """
+        arity = clause.head.arity
+        viable: List[Row] = []
+        for raw in candidates:
+            candidate = tuple(raw)
+            if len(candidate) != arity:
+                continue
+            consistent = True
+            seen: Dict[Variable, object] = {}
+            for term, value in zip(clause.head.terms, candidate):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        consistent = False
+                        break
+                else:
+                    previous = seen.get(term)
+                    if previous is not None and previous != value:
+                        consistent = False
+                        break
+                    seen[term] = value
+            if consistent:
+                viable.append(candidate)
+        if not viable:
+            return set()
+        if not clause.body:
+            return set(viable)
+
+        # Project candidates onto the distinct head variables.
+        first_position: Dict[Variable, int] = {}
+        for position, term in enumerate(clause.head.terms):
+            if isinstance(term, Variable) and term not in first_position:
+                first_position[term] = position
+        variables = sorted(first_position, key=lambda v: first_position[v])
+        if not variables:
+            # All-constant head: the body does not reference the candidates.
+            return set(viable) if self.satisfiable(clause.body) else set()
+        projections: Dict[Row, List[Row]] = {}
+        for candidate in viable:
+            key = tuple(candidate[first_position[v]] for v in variables)
+            projections.setdefault(key, []).append(candidate)
+
+        self._temp_counter += 1
+        temp = _quote(f"cand_{self._temp_counter}")
+        columns = ", ".join(f"x{i}" for i in range(len(variables))) or "x0"
+        try:
+            stored_keys = [
+                tuple(_storable(v) for v in key) for key in projections
+            ]
+        except BackendValueError:
+            raise CompilationNotSupported("unstorable candidate value")
+        outer_columns = {
+            variable: f"cand.x{i}" for i, variable in enumerate(variables)
+        }
+        compiled = self._compile_body(clause.body, outer_columns=outer_columns)
+        if compiled.empty:
+            return set()
+        self._connection.execute(f"CREATE TEMP TABLE {temp} ({columns})")
+        try:
+            placeholders = ", ".join("?" for _ in range(max(1, len(variables))))
+            self._connection.executemany(
+                f"INSERT INTO {temp} VALUES ({placeholders})", stored_keys
+            )
+            exists = self._sql_for(compiled, "1")
+            select = ", ".join(f"cand.x{i}" for i in range(len(variables))) or "1"
+            sql = (
+                f"SELECT {select} FROM {temp} AS cand "
+                f"WHERE EXISTS ({exists})"
+            )
+            covered: Set[Row] = set()
+            for row in self._connection.execute(sql, compiled.params):
+                for candidate in projections.get(tuple(row), []):
+                    covered.add(candidate)
+            return covered
+        finally:
+            self._connection.execute(f"DROP TABLE {temp}")
+
+    def __repr__(self) -> str:
+        return f"SQLiteBackend({len(self._relations)} relations)"

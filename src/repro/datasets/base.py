@@ -54,11 +54,14 @@ class DatasetBundle:
         examples: ExampleSet,
         variants: Sequence[SchemaVariant],
         target: str,
+        backend: str = "memory",
     ):
         self.name = str(name)
         self.base_instance = base_instance
         self.examples = examples
         self.target = str(target)
+        # Storage/evaluation backend variant instances are materialized on.
+        self.backend = str(backend)
         self._variants: Dict[str, SchemaVariant] = {v.name: v for v in variants}
         self._materialized: Dict[str, DatabaseInstance] = {}
 
@@ -79,12 +82,31 @@ class DatasetBundle:
         return self.variant(variant_name).schema
 
     def instance(self, variant_name: str) -> DatabaseInstance:
-        """The dataset instance under the named schema variant (cached)."""
+        """The dataset instance under the named schema variant (cached).
+
+        Schema transformations are applied in memory; the result is then
+        re-materialized on the bundle's configured backend when it differs.
+        """
         cached = self._materialized.get(variant_name)
         if cached is None:
             cached = self.variant(variant_name).materialize(self.base_instance)
+            if cached.backend_name != self.backend:
+                cached = cached.with_backend(self.backend)
             self._materialized[variant_name] = cached
         return cached
+
+    def with_backend(self, backend: str) -> "DatasetBundle":
+        """A view of the same dataset materializing instances on ``backend``."""
+        if backend == self.backend:
+            return self
+        return DatasetBundle(
+            self.name,
+            self.base_instance,
+            self.examples,
+            list(self._variants.values()),
+            self.target,
+            backend=backend,
+        )
 
     def transformation(self, variant_name: str) -> SchemaTransformation:
         return self.variant(variant_name).transformation

@@ -88,10 +88,17 @@ def run_variant(
     learner_spec: LearnerSpec,
     folds: int = 3,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> VariantResult:
-    """Cross-validate one learner on one schema variant of the dataset."""
+    """Cross-validate one learner on one schema variant of the dataset.
+
+    ``backend`` selects the storage/evaluation backend the instance is
+    materialized on (``memory``/``sqlite``); ``None`` keeps the bundle's own.
+    """
     schema = bundle.schema(variant_name)
     instance = bundle.instance(variant_name)
+    if backend is not None and backend != instance.backend_name:
+        instance = instance.with_backend(backend)
 
     def factory() -> object:
         return learner_spec.build(schema)
@@ -134,9 +141,14 @@ def run_schema_sweep(
     variants: Optional[Sequence[str]] = None,
     folds: int = 3,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[VariantResult]:
     """Run every learner on every schema variant (one of the paper's tables)."""
     variants = list(variants or bundle.variant_names)
+    if backend is not None:
+        # Convert once up front: the bundle caches the re-materialized
+        # instance per variant, instead of once per learner x variant.
+        bundle = bundle.with_backend(backend)
     results: List[VariantResult] = []
     for learner_spec in learner_specs:
         for variant_name in variants:
@@ -184,6 +196,7 @@ def check_schema_independence(
     learner_spec: LearnerSpec,
     variants: Optional[Sequence[str]] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> SchemaIndependenceReport:
     """Learn on every variant with the full training data and compare outputs.
 
@@ -192,6 +205,8 @@ def check_schema_independence(
     variants (Definition 3.10 instantiated on the actual data).
     """
     variants = list(variants or bundle.variant_names)
+    if backend is not None:
+        bundle = bundle.with_backend(backend)
     definitions: Dict[str, HornDefinition] = {}
     results: Dict[str, frozenset] = {}
     for variant_name in variants:

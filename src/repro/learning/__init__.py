@@ -10,6 +10,7 @@ from .coverage import (
     CoverageResult,
     QueryCoverageEngine,
     SubsumptionCoverageEngine,
+    make_coverage_engine,
 )
 from .covering import ClauseLearner, CoveringLearner, CoveringParameters
 from .evaluation import (
@@ -45,5 +46,6 @@ __all__ = [
     "cross_validate",
     "evaluate_definition",
     "examples_from_instance",
+    "make_coverage_engine",
     "sample_closed_world_negatives",
 ]

@@ -175,7 +175,13 @@ class SubsumptionCoverageEngine:
 
 
 class QueryCoverageEngine:
-    """Join-based coverage: bind head variables to the example and test the body."""
+    """Join-based coverage: bind head variables to the example and test the body.
+
+    ``covered_examples`` is set-at-a-time: the whole example list is handed
+    to the evaluator in one call, which backends with compiled queries (the
+    SQLite backend) answer with a single SQL statement — the Python analogue
+    of the paper's stored-procedure coverage path (Section 7.5.2).
+    """
 
     def __init__(self, instance: DatabaseInstance):
         self.instance = instance
@@ -190,7 +196,11 @@ class QueryCoverageEngine:
     def covered_examples(
         self, clause: HornClause, examples: Sequence[Example]
     ) -> List[Example]:
-        return [e for e in examples if self.covers(clause, e)]
+        covered = self.evaluator.covered_tuples(
+            clause, [example.values for example in examples]
+        )
+        self.coverage_tests_performed += len(examples)
+        return [example for example in examples if example.values in covered]
 
     def evaluate(
         self,
@@ -203,3 +213,28 @@ class QueryCoverageEngine:
         return CoverageResult(
             len(covered_positives), len(covered_negatives), covered_positives
         )
+
+
+def make_coverage_engine(
+    instance: DatabaseInstance,
+    strategy: str = "subsumption",
+    saturation_config: Optional[BottomClauseConfig] = None,
+    threads: int = 1,
+    backend: Optional[str] = None,
+):
+    """Build a coverage engine, optionally re-materializing on another backend.
+
+    ``strategy`` selects subsumption (Castor/ProGolem) or query (join-based)
+    coverage; ``backend`` converts the instance first when it differs from
+    the instance's current backend (the ``--backend`` knob of the experiment
+    harness and benchmarks).
+    """
+    if backend is not None and backend != instance.backend_name:
+        instance = instance.with_backend(backend)
+    if strategy == "subsumption":
+        return SubsumptionCoverageEngine(instance, saturation_config, threads=threads)
+    if strategy == "query":
+        return QueryCoverageEngine(instance)
+    raise ValueError(
+        f"unknown coverage strategy {strategy!r}; expected 'subsumption' or 'query'"
+    )

@@ -15,6 +15,30 @@ from repro.datasets import hiv, imdb, uwcse
 from repro.transform import ComposeOperation, DecomposeOperation, SchemaTransformation
 
 
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request) -> str:
+    """Storage/evaluation backend under test; parametrizes the shared
+    instance fixtures so every database/learning coverage test runs against
+    both the dict-indexed memory backend and the SQLite backend."""
+    return request.param
+
+
+@pytest.fixture
+def relation_factory(backend):
+    """Build a single backend-specific relation store (for RelationInstance
+    interface tests that should hold for every backend)."""
+
+    def make(relation_schema: RelationSchema, rows=()):
+        instance = DatabaseInstance(
+            Schema([relation_schema], name="single"), backend=backend
+        )
+        relation = instance.relation(relation_schema.name)
+        relation.add_all(rows)
+        return relation
+
+    return make
+
+
 @pytest.fixture
 def simple_schema() -> Schema:
     """A two-relation schema R1(A,B), R2(A,C) with an IND with equality on A."""
@@ -27,9 +51,9 @@ def simple_schema() -> Schema:
 
 
 @pytest.fixture
-def simple_instance(simple_schema: Schema) -> DatabaseInstance:
+def simple_instance(simple_schema: Schema, backend: str) -> DatabaseInstance:
     """A small instance of the simple schema satisfying its constraints."""
-    instance = DatabaseInstance(simple_schema)
+    instance = DatabaseInstance(simple_schema, backend=backend)
     instance.add_tuples("r1", [("a1", "b1"), ("a2", "b2"), ("a3", "b3")])
     instance.add_tuples("r2", [("a1", "c1"), ("a2", "c2"), ("a3", "c3"), ("a3", "c4")])
     return instance

@@ -1,0 +1,153 @@
+"""Cross-backend parity: memory and sqlite must be observationally identical.
+
+These tests materialize the same data on both backends and assert that
+query evaluation, binding counts, and query-based coverage return identical
+results — the invariant ``bench_backend_parity.py`` times at larger scale.
+"""
+
+import pytest
+
+from repro.castor.bottom_clause import CastorBottomClauseBuilder, CastorBottomClauseConfig
+from repro.database import backend_names, create_backend
+from repro.database.instance import DatabaseInstance
+from repro.database.query import QueryEvaluator
+from repro.learning.coverage import QueryCoverageEngine, make_coverage_engine
+from repro.logic.parser import parse_clause
+
+BACKENDS = ("memory", "sqlite")
+
+
+def _covered_sets(bundle, variant, clauses):
+    """Per-backend, per-clause frozensets of covered example values."""
+    results = {}
+    examples = bundle.examples.all_examples()
+    for backend in BACKENDS:
+        instance = bundle.instance(variant).with_backend(backend)
+        engine = QueryCoverageEngine(instance)
+        results[backend] = [
+            frozenset(e.values for e in engine.covered_examples(clause, examples))
+            for clause in clauses
+        ]
+    return results
+
+
+def _bottom_clauses(instance, positives, count=4):
+    builder = CastorBottomClauseBuilder(
+        instance,
+        config=CastorBottomClauseConfig(
+            max_depth=2, max_distinct_variables=10, max_total_literals=20
+        ),
+    )
+    clauses = [builder.build(e) for e in positives[:count]]
+    return [c for c in clauses if c.body]
+
+
+class TestCoverageParity:
+    def test_uwcse_covered_examples_identical(self, uwcse_bundle):
+        variant = uwcse_bundle.variant_names[0]
+        instance = uwcse_bundle.instance(variant)
+        clauses = _bottom_clauses(instance, uwcse_bundle.examples.positives)
+        assert clauses, "workload produced no candidate clauses"
+        results = _covered_sets(uwcse_bundle, variant, clauses)
+        assert results["memory"] == results["sqlite"]
+
+    def test_hiv_covered_examples_identical(self, hiv_bundle):
+        variant = hiv_bundle.variant_names[0]
+        instance = hiv_bundle.instance(variant)
+        clauses = _bottom_clauses(instance, hiv_bundle.examples.positives)
+        assert clauses, "workload produced no candidate clauses"
+        results = _covered_sets(hiv_bundle, variant, clauses)
+        assert results["memory"] == results["sqlite"]
+
+    def test_uwcse_all_variants_agree_across_backends(self, uwcse_bundle):
+        clause_by_variant = {
+            "original": "advisedBy(x, y) :- publication(t, x), publication(t, y), professor(y).",
+            "4nf": "advisedBy(x, y) :- publication(t, x), publication(t, y), professor(y, p).",
+        }
+        examples = uwcse_bundle.examples.all_examples()
+        for variant, text in clause_by_variant.items():
+            clause = parse_clause(text)
+            per_backend = {}
+            for backend in BACKENDS:
+                instance = uwcse_bundle.instance(variant).with_backend(backend)
+                engine = QueryCoverageEngine(instance)
+                per_backend[backend] = frozenset(
+                    e.values for e in engine.covered_examples(clause, examples)
+                )
+            assert per_backend["memory"] == per_backend["sqlite"], variant
+
+
+class TestEvaluatorParity:
+    def test_evaluate_clause_and_counts(self, uwcse_bundle):
+        variant = uwcse_bundle.variant_names[0]
+        memory_instance = uwcse_bundle.instance(variant).with_backend("memory")
+        sqlite_instance = memory_instance.with_backend("sqlite")
+        clause = parse_clause(
+            "advisedBy(x, y) :- publication(t, x), publication(t, y), professor(y)."
+        )
+        memory_eval = QueryEvaluator(memory_instance)
+        sqlite_eval = QueryEvaluator(sqlite_instance)
+        assert memory_eval.evaluate_clause(clause) == sqlite_eval.evaluate_clause(clause)
+        assert memory_eval.count_bindings(clause.body) == sqlite_eval.count_bindings(
+            clause.body
+        )
+        assert memory_eval.count_bindings(clause.body, limit=3) == sqlite_eval.count_bindings(
+            clause.body, limit=3
+        )
+
+    def test_bindings_for_body_same_multiset(self, simple_schema):
+        clause = parse_clause("q(x) :- r1(x, b), r2(x, c).")
+        bindings = {}
+        for backend in BACKENDS:
+            instance = DatabaseInstance(simple_schema, backend=backend)
+            instance.add_tuples("r1", [("a1", "b1"), ("a2", "b2")])
+            instance.add_tuples("r2", [("a1", "c1"), ("a1", "c2"), ("a2", "c3")])
+            evaluator = QueryEvaluator(instance)
+            bindings[backend] = sorted(
+                tuple(sorted((v.name, value) for v, value in binding.items()))
+                for binding in evaluator.bindings_for_body(clause.body)
+            )
+        assert bindings["memory"] == bindings["sqlite"]
+
+    def test_unknown_relation_and_arity_mismatch_are_empty(self):
+        from repro.database.schema import RelationSchema, Schema
+
+        schema = Schema([RelationSchema("r", ["a", "b"])], name="tiny")
+        for backend in BACKENDS:
+            instance = DatabaseInstance(schema, backend=backend)
+            instance.add_tuple("r", ("x", "y"))
+            evaluator = QueryEvaluator(instance)
+            missing = parse_clause("q(x) :- nope(x).")
+            assert not evaluator.body_is_satisfiable(missing.body)
+            wrong_arity = parse_clause("q(x) :- r(x).")
+            assert not evaluator.body_is_satisfiable(wrong_arity.body)
+
+
+class TestBackendPlumbing:
+    def test_registry_names_and_errors(self):
+        assert set(BACKENDS) <= set(backend_names())
+        with pytest.raises(ValueError):
+            create_backend("voltdb")
+
+    def test_with_backend_roundtrip(self, simple_instance):
+        for backend in BACKENDS:
+            converted = simple_instance.with_backend(backend)
+            assert converted.backend_name == backend
+            assert converted.same_contents(simple_instance)
+            assert converted == simple_instance
+
+    def test_make_coverage_engine_backend_knob(self, uwcse_bundle):
+        instance = uwcse_bundle.instance(uwcse_bundle.variant_names[0])
+        engine = make_coverage_engine(instance, strategy="query", backend="sqlite")
+        assert engine.instance.backend_name == "sqlite"
+        with pytest.raises(ValueError):
+            make_coverage_engine(instance, strategy="magic")
+
+    def test_bundle_with_backend(self, uwcse_bundle):
+        sqlite_bundle = uwcse_bundle.with_backend("sqlite")
+        variant = sqlite_bundle.variant_names[0]
+        assert sqlite_bundle.instance(variant).backend_name == "sqlite"
+        assert sqlite_bundle.instance(variant).same_contents(
+            uwcse_bundle.instance(variant)
+        )
+        assert uwcse_bundle.with_backend(uwcse_bundle.backend) is uwcse_bundle

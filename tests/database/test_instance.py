@@ -8,42 +8,46 @@ from repro.database.schema import RelationSchema, Schema
 
 
 class TestRelationInstance:
-    def test_add_and_len(self):
-        relation = RelationInstance(RelationSchema("r", ["a", "b"]))
+    """Relation-store interface tests, run against every backend via
+    ``relation_factory`` (memory's ``RelationInstance`` and the SQLite
+    relation must behave identically)."""
+
+    def test_add_and_len(self, relation_factory):
+        relation = relation_factory(RelationSchema("r", ["a", "b"]))
         relation.add(("x", "y"))
         relation.add(("x", "y"))  # duplicate ignored
         relation.add(("x", "z"))
         assert len(relation) == 2
         assert ("x", "y") in relation
 
-    def test_arity_mismatch_rejected(self):
-        relation = RelationInstance(RelationSchema("r", ["a", "b"]))
+    def test_arity_mismatch_rejected(self, relation_factory):
+        relation = relation_factory(RelationSchema("r", ["a", "b"]))
         with pytest.raises(ValueError):
             relation.add(("only-one",))
 
-    def test_remove(self):
-        relation = RelationInstance(RelationSchema("r", ["a"]), [("x",)])
+    def test_remove(self, relation_factory):
+        relation = relation_factory(RelationSchema("r", ["a"]), [("x",)])
         relation.remove(("x",))
         assert len(relation) == 0
         assert relation.tuples_containing("x") == set()
         with pytest.raises(KeyError):
             relation.remove(("x",))
 
-    def test_tuples_containing_any_column(self):
-        relation = RelationInstance(
+    def test_tuples_containing_any_column(self, relation_factory):
+        relation = relation_factory(
             RelationSchema("r", ["a", "b"]), [("x", "y"), ("y", "z")]
         )
         assert relation.tuples_containing("y") == {("x", "y"), ("y", "z")}
 
-    def test_tuples_with_position(self):
-        relation = RelationInstance(
+    def test_tuples_with_position(self, relation_factory):
+        relation = relation_factory(
             RelationSchema("r", ["a", "b"]), [("x", "y"), ("y", "z")]
         )
         assert relation.tuples_with(0, "y") == {("y", "z")}
         assert relation.tuples_with(1, "y") == {("x", "y")}
 
-    def test_tuples_matching_multiple_bindings(self):
-        relation = RelationInstance(
+    def test_tuples_matching_multiple_bindings(self, relation_factory):
+        relation = relation_factory(
             RelationSchema("r", ["a", "b", "c"]),
             [("x", "y", "1"), ("x", "y", "2"), ("x", "z", "1")],
         )
@@ -54,12 +58,19 @@ class TestRelationInstance:
         assert relation.tuples_matching({}) == relation.rows
         assert relation.tuples_matching({0: "nope"}) == set()
 
-    def test_project_and_distinct_values(self):
-        relation = RelationInstance(
+    def test_project_and_distinct_values(self, relation_factory):
+        relation = relation_factory(
             RelationSchema("r", ["a", "b"]), [("x", "y"), ("x", "z")]
         )
         assert relation.project(["a"]) == {("x",)}
         assert relation.distinct_values("b") == {"y", "z"}
+
+    def test_cross_backend_equality(self, relation_factory):
+        rows = [("x", "y"), ("y", "z")]
+        relation = relation_factory(RelationSchema("r", ["a", "b"]), rows)
+        memory_twin = RelationInstance(RelationSchema("r", ["a", "b"]), rows)
+        assert relation == memory_twin
+        assert memory_twin == relation
 
 
 class TestDatabaseInstance:

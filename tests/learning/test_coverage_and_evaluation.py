@@ -18,7 +18,8 @@ from repro.logic.parser import parse_clause
 
 
 @pytest.fixture
-def coauthor_instance() -> DatabaseInstance:
+def coauthor_instance(backend: str) -> DatabaseInstance:
+    """The Example 1.1-style co-authorship instance, on every backend."""
     schema = Schema(
         [
             RelationSchema("publication", ["title", "person"]),
@@ -26,7 +27,7 @@ def coauthor_instance() -> DatabaseInstance:
         ],
         name="coauthors",
     )
-    instance = DatabaseInstance(schema)
+    instance = DatabaseInstance(schema, backend=backend)
     instance.add_tuples(
         "publication",
         [
