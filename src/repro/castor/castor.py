@@ -62,6 +62,8 @@ class CastorParameters(ProGolemParameters):
         promote_inds_from_data: bool = False,
         minimize_bottom_clauses: bool = False,
         ensure_safe: bool = True,
+        max_seconds: Optional[float] = None,
+        parallelism: int = 1,
     ):
         super().__init__(
             sample_size=sample_size,
@@ -72,6 +74,8 @@ class CastorParameters(ProGolemParameters):
             max_armg_rounds=max_armg_rounds,
             bottom_clause=bottom_clause or CastorBottomClauseConfig(),
             seed=seed,
+            max_seconds=max_seconds,
+            parallelism=parallelism,
         )
         self.use_subset_inds = bool(use_subset_inds)
         self.promote_inds_from_data = bool(promote_inds_from_data)
@@ -169,8 +173,14 @@ class CastorLearner(ProGolemLearner):
         parameters: Optional[CastorParameters] = None,
         threads: int = 1,
         backend: Optional[str] = None,
+        parallelism: Optional[int] = None,
     ):
-        super().__init__(schema, parameters or CastorParameters(), threads=threads)
+        super().__init__(
+            schema,
+            parameters or CastorParameters(),
+            threads=threads,
+            parallelism=parallelism,
+        )
         self.parameters: CastorParameters = self.parameters
         self._working_schema: Optional[Schema] = None
         # Storage/evaluation backend the learner wants the instance on

@@ -35,15 +35,24 @@ from .instance import DatabaseInstance, RelationInstance
 from .query import QueryEvaluator, evaluate_clause, evaluate_definition
 from .schema import RelationSchema, Schema
 
-from .sqlite_backend import SQLiteBackend, SQLiteRelation
+from .sqlite_backend import (
+    PooledSQLiteBackend,
+    SaturationStore,
+    SQLiteBackend,
+    SQLiteReadPool,
+    SQLiteRelation,
+)
 
 __all__ = [
     "Backend",
     "DatabaseInstance",
     "MemoryBackend",
+    "PooledSQLiteBackend",
     "RelationBackend",
     "SQLiteBackend",
+    "SQLiteReadPool",
     "SQLiteRelation",
+    "SaturationStore",
     "backend_names",
     "create_backend",
     "register_backend",

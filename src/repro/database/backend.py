@@ -11,8 +11,9 @@ substrate swappable:
   and may additionally expose *set-at-a-time* query evaluation (see
   :mod:`repro.database.sqlite_backend`);
 * a name registry so callers can select a backend with a plain string
-  (``"memory"`` or ``"sqlite"``), e.g. ``DatabaseInstance(schema,
-  backend="sqlite")`` or an experiment-harness ``--backend`` knob.
+  (``"memory"``, ``"sqlite"``, or ``"sqlite-pooled"``), e.g.
+  ``DatabaseInstance(schema, backend="sqlite")`` or an experiment-harness
+  ``--backend`` knob.
 
 The dict-based :class:`~repro.database.instance.RelationInstance` is the
 ``memory`` backend's relation store; it remains the default.
@@ -164,5 +165,12 @@ def _sqlite_factory() -> Backend:
     return SQLiteBackend()
 
 
+def _sqlite_pooled_factory() -> Backend:
+    from .sqlite_backend import PooledSQLiteBackend
+
+    return PooledSQLiteBackend()
+
+
 register_backend("memory", MemoryBackend)
 register_backend("sqlite", _sqlite_factory)
+register_backend("sqlite-pooled", _sqlite_pooled_factory)

@@ -140,6 +140,35 @@ class QueryEvaluator:
             if self.clause_covers_tuple(clause, candidate)
         }
 
+    def covered_tuples_batch(
+        self,
+        clauses: Sequence[HornClause],
+        candidates: Sequence[Sequence[object]],
+        parallelism: int = 1,
+    ) -> List[Set[Tuple[object, ...]]]:
+        """Per-clause covered candidate sets for a whole batch of clauses.
+
+        Backends exposing ``covered_head_tuples_batch`` (the SQLite family)
+        answer the batch with one shared candidate temp table per head
+        signature — and, on the pooled backend, fan the clauses out across
+        snapshot connections when ``parallelism > 1``.  Clauses the backend
+        cannot compile fall back to :meth:`covered_tuples` individually.
+        Results are returned in input order.
+        """
+        clause_list = list(clauses)
+        batch = getattr(self._compiled, "covered_head_tuples_batch", None)
+        if batch is not None:
+            try:
+                partial = batch(clause_list, candidates, parallelism=parallelism)
+            except CompilationNotSupported:
+                partial = [None] * len(clause_list)
+        else:
+            partial = [None] * len(clause_list)
+        return [
+            covered if covered is not None else self.covered_tuples(clause, candidates)
+            for clause, covered in zip(clause_list, partial)
+        ]
+
     def count_bindings(self, body: Sequence[Atom], limit: Optional[int] = None) -> int:
         """Number of satisfying assignments of the body (used by FOIL's gain)."""
         if self._compiled is not None:

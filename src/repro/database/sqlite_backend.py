@@ -25,8 +25,23 @@ tuple-at-a-time path.
 
 from __future__ import annotations
 
+import itertools
+import os
 import sqlite3
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause
@@ -103,13 +118,21 @@ class SQLiteRelation:
     so it is a drop-in replacement for the dict-based ``RelationInstance``.
     """
 
-    def __init__(self, schema: RelationSchema, connection: sqlite3.Connection):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        connection: sqlite3.Connection,
+        on_mutation: Optional[Callable[[], None]] = None,
+    ):
         if schema.arity == 0:
             raise ValueError(
                 f"sqlite backend requires relations of arity >= 1, got {schema.name!r}"
             )
         self.schema = schema
         self._connection = connection
+        # Invoked after every successful data change; the pooled backend uses
+        # it to version relation contents for snapshot staleness checks.
+        self._on_mutation = on_mutation
         self._table = _quote(f"rel_{schema.name}")
         columns = ", ".join(f"c{i}" for i in range(schema.arity))
         self._connection.execute(
@@ -135,23 +158,31 @@ class SQLiteRelation:
             )
         return row_tuple
 
+    def _mutated(self) -> None:
+        if self._on_mutation is not None:
+            self._on_mutation()
+
     def add(self, row: Sequence[object]) -> None:
         """Insert a tuple; silently ignores exact duplicates."""
         row_tuple = self._check_arity(row)
         values = tuple(_storable(v) for v in row_tuple)
-        self._connection.execute(
+        cursor = self._connection.execute(
             f"INSERT OR IGNORE INTO {self._table} VALUES ({self._placeholders})",
             values,
         )
+        if cursor.rowcount != 0:
+            self._mutated()
 
     def add_all(self, rows: Iterable[Sequence[object]]) -> None:
         prepared = [
             tuple(_storable(v) for v in self._check_arity(row)) for row in rows
         ]
-        self._connection.executemany(
+        cursor = self._connection.executemany(
             f"INSERT OR IGNORE INTO {self._table} VALUES ({self._placeholders})",
             prepared,
         )
+        if cursor.rowcount != 0:
+            self._mutated()
 
     def remove(self, row: Sequence[object]) -> None:
         """Delete a tuple; raises KeyError if absent."""
@@ -165,6 +196,7 @@ class SQLiteRelation:
                 f"DELETE FROM {self._table} WHERE {self._all_match}", values
             )
             if cursor.rowcount > 0:
+                self._mutated()
                 return
         raise KeyError(f"tuple {row_tuple!r} not in relation {self.schema.name!r}")
 
@@ -283,6 +315,139 @@ class _CompiledBody:
         self.empty = False
 
 
+def compile_conjunction(
+    body: Sequence[Atom],
+    resolve_table: Callable[[Atom], Optional[str]],
+    binding: Optional[Dict[Variable, object]] = None,
+    outer_columns: Optional[Dict[Variable, str]] = None,
+    alias_condition: Optional[Callable[[str], str]] = None,
+) -> _CompiledBody:
+    """Translate a conjunctive body into SQL FROM/WHERE fragments.
+
+    ``resolve_table`` maps an atom to the table holding its predicate's
+    extension (``None`` marks the body statically empty on this store);
+    ``binding`` pins variables to concrete values (the initial binding of the
+    backtracking join); ``outer_columns`` pins variables to columns of an
+    enclosing query (set-at-a-time coverage references the candidate temp
+    table this way); ``alias_condition`` emits one extra parameter-free
+    condition per atom (the saturation store uses it to keep every atom
+    inside a single example's saturation).
+    """
+    if len(body) > MAX_COMPILED_ATOMS:
+        raise CompilationNotSupported(
+            f"body has {len(body)} atoms, above the {MAX_COMPILED_ATOMS}-way join limit"
+        )
+    compiled = _CompiledBody()
+    if outer_columns:
+        compiled.variable_columns.update(outer_columns)
+    binding = binding or {}
+    for alias_index, atom in enumerate(body):
+        table = resolve_table(atom)
+        if table is None:
+            compiled.empty = True
+            return compiled
+        alias = f"a{alias_index}"
+        compiled.from_items.append(f"{table} AS {alias}")
+        if alias_condition is not None:
+            compiled.where.append(alias_condition(alias))
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.c{position}"
+            if isinstance(term, Constant):
+                try:
+                    compiled.params.append(_storable(term.value))
+                except BackendValueError:
+                    compiled.empty = True
+                    return compiled
+                compiled.where.append(f"{column} = ?")
+                continue
+            if term in binding:
+                try:
+                    compiled.params.append(_storable(binding[term]))
+                except BackendValueError:
+                    compiled.empty = True
+                    return compiled
+                compiled.where.append(f"{column} = ?")
+                # The variable stays addressable for SELECT projections.
+                compiled.variable_columns.setdefault(term, column)
+                continue
+            known = compiled.variable_columns.get(term)
+            if known is None:
+                compiled.variable_columns[term] = column
+            else:
+                compiled.where.append(f"{column} = {known}")
+    return compiled
+
+
+def _head_signature(head: Atom) -> Tuple[object, ...]:
+    """Canonical shape of a clause head: constants plus variable-repeat pattern.
+
+    Two heads with the same signature accept exactly the same candidate
+    tuples and project them onto the same key positions, so batched coverage
+    can share one candidate temp table across all clauses of a signature.
+    """
+    seen: Dict[Variable, int] = {}
+    signature: List[object] = []
+    for term in head.terms:
+        if isinstance(term, Constant):
+            signature.append(("const", term.value))
+        else:
+            signature.append(("var", seen.setdefault(term, len(seen))))
+    return tuple(signature)
+
+
+class _CandidateProjection:
+    """Candidate head tuples filtered and projected for one head signature.
+
+    ``viable`` drops candidates that cannot match the head (wrong arity,
+    constant mismatch, inconsistent repeated variables); ``projections`` maps
+    each distinct key (values at the first occurrence of every distinct head
+    variable, in position order) back to the candidates it represents;
+    ``stored_keys`` is ``None`` when some key value is not SQLite-storable.
+    """
+
+    __slots__ = ("viable", "var_positions", "projections", "stored_keys")
+
+    def __init__(self, head: Atom, candidates: Sequence[Sequence[object]]):
+        arity = head.arity
+        first_position: Dict[Variable, int] = {}
+        for position, term in enumerate(head.terms):
+            if isinstance(term, Variable) and term not in first_position:
+                first_position[term] = position
+        self.var_positions: List[int] = sorted(first_position.values())
+
+        self.viable: List[Row] = []
+        for raw in candidates:
+            candidate = tuple(raw)
+            if len(candidate) != arity:
+                continue
+            consistent = True
+            seen: Dict[Variable, object] = {}
+            for term, value in zip(head.terms, candidate):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        consistent = False
+                        break
+                else:
+                    previous = seen.get(term)
+                    if previous is not None and previous != value:
+                        consistent = False
+                        break
+                    seen[term] = value
+            if consistent:
+                self.viable.append(candidate)
+
+        self.projections: Dict[Row, List[Row]] = {}
+        for candidate in self.viable:
+            key = tuple(candidate[p] for p in self.var_positions)
+            self.projections.setdefault(key, []).append(candidate)
+        try:
+            self.stored_keys: Optional[List[Row]] = [
+                tuple(_storable(v) for v in key) for key in self.projections
+            ]
+        except BackendValueError:
+            self.stored_keys = None
+
+
 class SQLiteBackend:
     """Relation storage plus compiled set-at-a-time query evaluation.
 
@@ -298,14 +463,23 @@ class SQLiteBackend:
         if connection is None:
             # With a serialized SQLite build the library itself locks around
             # every call, so the connection may be shared by the coverage
-            # engine's worker threads.
+            # engine's worker threads.  Autocommit keeps the database free of
+            # open write transactions, which snapshot pools require.
             connection = sqlite3.connect(
-                ":memory:", check_same_thread=not _sqlite_is_serialized()
+                ":memory:",
+                check_same_thread=not _sqlite_is_serialized(),
+                isolation_level=None,
             )
         self._connection = connection
         self._connection.execute("PRAGMA temp_store = MEMORY")
         self._relations: Dict[str, SQLiteRelation] = {}
-        self._temp_counter = 0
+        self._temp_ids = itertools.count(1)
+        # Bumped on every successful relation mutation; versions the data
+        # independently of scratch writes (temp tables do not count).
+        self._data_version = 0
+
+    def _bump_data_version(self) -> None:
+        self._data_version += 1
 
     def make_relation(self, schema: RelationSchema) -> SQLiteRelation:
         if schema.name in self._relations:
@@ -313,7 +487,9 @@ class SQLiteBackend:
                 f"relation {schema.name!r} already exists on this backend; "
                 "a SQLiteBackend object serves exactly one DatabaseInstance"
             )
-        relation = SQLiteRelation(schema, self._connection)
+        relation = SQLiteRelation(
+            schema, self._connection, on_mutation=self._bump_data_version
+        )
         self._relations[schema.name] = relation
         return relation
 
@@ -333,47 +509,16 @@ class SQLiteBackend:
         an enclosing query (used by set-at-a-time coverage, where head
         variables reference the candidate-example temp table).
         """
-        if len(body) > MAX_COMPILED_ATOMS:
-            raise CompilationNotSupported(
-                f"body has {len(body)} atoms, above the {MAX_COMPILED_ATOMS}-way join limit"
-            )
-        compiled = _CompiledBody()
-        if outer_columns:
-            compiled.variable_columns.update(outer_columns)
-        binding = binding or {}
-        for alias_index, atom in enumerate(body):
+
+        def resolve(atom: Atom) -> Optional[str]:
             relation = self._relations.get(atom.predicate)
             if relation is None or relation.schema.arity != atom.arity:
-                compiled.empty = True
-                return compiled
-            alias = f"a{alias_index}"
-            compiled.from_items.append(f"{relation._table} AS {alias}")
-            for position, term in enumerate(atom.terms):
-                column = f"{alias}.c{position}"
-                if isinstance(term, Constant):
-                    try:
-                        compiled.params.append(_storable(term.value))
-                    except BackendValueError:
-                        compiled.empty = True
-                        return compiled
-                    compiled.where.append(f"{column} = ?")
-                    continue
-                if term in binding:
-                    try:
-                        compiled.params.append(_storable(binding[term]))
-                    except BackendValueError:
-                        compiled.empty = True
-                        return compiled
-                    compiled.where.append(f"{column} = ?")
-                    # The variable stays addressable for SELECT projections.
-                    compiled.variable_columns.setdefault(term, column)
-                    continue
-                known = compiled.variable_columns.get(term)
-                if known is None:
-                    compiled.variable_columns[term] = column
-                else:
-                    compiled.where.append(f"{column} = {known}")
-        return compiled
+                return None
+            return relation._table
+
+        return compile_conjunction(
+            body, resolve, binding=binding, outer_columns=outer_columns
+        )
 
     @staticmethod
     def _sql_for(compiled: _CompiledBody, select: str) -> str:
@@ -386,7 +531,10 @@ class SQLiteBackend:
     # Set-at-a-time evaluation (probed by QueryEvaluator)
     # ------------------------------------------------------------------ #
     def satisfiable(
-        self, body: Sequence[Atom], binding: Optional[Dict[Variable, object]] = None
+        self,
+        body: Sequence[Atom],
+        binding: Optional[Dict[Variable, object]] = None,
+        connection: Optional[sqlite3.Connection] = None,
     ) -> bool:
         """One satisfying assignment exists (``SELECT 1 ... LIMIT 1``)."""
         if not body:
@@ -395,7 +543,8 @@ class SQLiteBackend:
         if compiled.empty:
             return False
         sql = self._sql_for(compiled, "1") + " LIMIT 1"
-        return self._connection.execute(sql, compiled.params).fetchone() is not None
+        connection = connection or self._connection
+        return connection.execute(sql, compiled.params).fetchone() is not None
 
     def count_bindings(
         self, body: Sequence[Atom], limit: Optional[int] = None
@@ -472,8 +621,111 @@ class SQLiteBackend:
         cursor = self._connection.execute(sql, head_params + compiled.params)
         return {tuple(row) for row in cursor}
 
+    @staticmethod
+    def _outer_columns_for(head: Atom) -> Dict[Variable, str]:
+        """Map the head's distinct variables (first-occurrence order) to the
+        candidate temp table's key columns ``cand.x0, cand.x1, ...``."""
+        first_position: Dict[Variable, int] = {}
+        for position, term in enumerate(head.terms):
+            if isinstance(term, Variable) and term not in first_position:
+                first_position[term] = position
+        variables = sorted(first_position, key=lambda v: first_position[v])
+        return {variable: f"cand.x{i}" for i, variable in enumerate(variables)}
+
+    def _covered_batch_on(
+        self,
+        connection: sqlite3.Connection,
+        indexed_clauses: Sequence[Tuple[int, HornClause]],
+        candidates: Sequence[Sequence[object]],
+    ) -> Dict[int, Optional[Set[Row]]]:
+        """Set-at-a-time coverage of several clauses on one connection.
+
+        Clauses are grouped by head signature so the candidate tuples are
+        loaded into ONE temp table per signature and reused by every clause
+        of the group — this amortization (not just thread fan-out) is what
+        makes batched scoring beat the per-clause sequential path.  The
+        result maps each input index to its covered candidate set, or to
+        ``None`` when that clause cannot be compiled (the caller falls back
+        to the tuple-at-a-time join).
+        """
+        results: Dict[int, Optional[Set[Row]]] = {}
+        groups: Dict[Tuple[object, ...], List[Tuple[int, HornClause]]] = {}
+        for index, clause in indexed_clauses:
+            groups.setdefault(_head_signature(clause.head), []).append((index, clause))
+
+        for members in groups.values():
+            head = members[0][1].head
+            projection = _CandidateProjection(head, candidates)
+            if not projection.viable:
+                for index, _ in members:
+                    results[index] = set()
+                continue
+            if not projection.var_positions:
+                # All-constant heads: the body never references the candidates.
+                for index, clause in members:
+                    if not clause.body:
+                        results[index] = set(projection.viable)
+                        continue
+                    try:
+                        satisfied = self.satisfiable(
+                            clause.body, connection=connection
+                        )
+                    except CompilationNotSupported:
+                        results[index] = None
+                        continue
+                    results[index] = set(projection.viable) if satisfied else set()
+                continue
+            if projection.stored_keys is None:
+                # Unstorable candidate values: tuple-at-a-time fallback.
+                for index, _ in members:
+                    results[index] = None
+                continue
+
+            width = len(projection.var_positions)
+            temp = _quote(f"cand_{next(self._temp_ids)}")
+            columns = ", ".join(f"x{i}" for i in range(width))
+            connection.execute(f"CREATE TEMP TABLE {temp} ({columns})")
+            try:
+                placeholders = ", ".join("?" for _ in range(width))
+                connection.executemany(
+                    f"INSERT INTO {temp} VALUES ({placeholders})",
+                    projection.stored_keys,
+                )
+                select = ", ".join(f"cand.x{i}" for i in range(width))
+                for index, clause in members:
+                    if not clause.body:
+                        results[index] = set(projection.viable)
+                        continue
+                    outer_columns = self._outer_columns_for(clause.head)
+                    try:
+                        compiled = self._compile_body(
+                            clause.body, outer_columns=outer_columns
+                        )
+                    except CompilationNotSupported:
+                        results[index] = None
+                        continue
+                    if compiled.empty:
+                        results[index] = set()
+                        continue
+                    exists = self._sql_for(compiled, "1")
+                    sql = (
+                        f"SELECT {select} FROM {temp} AS cand "
+                        f"WHERE EXISTS ({exists})"
+                    )
+                    covered: Set[Row] = set()
+                    for row in connection.execute(sql, compiled.params):
+                        for candidate in projection.projections.get(tuple(row), []):
+                            covered.add(candidate)
+                    results[index] = covered
+            finally:
+                connection.execute(f"DROP TABLE {temp}")
+        return results
+
     def covered_head_tuples(
-        self, clause: HornClause, candidates: Sequence[Sequence[object]]
+        self,
+        clause: HornClause,
+        candidates: Sequence[Sequence[object]],
+        connection: Optional[sqlite3.Connection] = None,
     ) -> Set[Row]:
         """The subset of candidate head tuples the clause derives — one query.
 
@@ -482,80 +734,382 @@ class SQLiteBackend:
         ``EXISTS`` over the compiled body, so the whole example set is tested
         in a single statement.
         """
-        arity = clause.head.arity
-        viable: List[Row] = []
-        for raw in candidates:
-            candidate = tuple(raw)
-            if len(candidate) != arity:
-                continue
-            consistent = True
-            seen: Dict[Variable, object] = {}
-            for term, value in zip(clause.head.terms, candidate):
-                if isinstance(term, Constant):
-                    if term.value != value:
-                        consistent = False
-                        break
-                else:
-                    previous = seen.get(term)
-                    if previous is not None and previous != value:
-                        consistent = False
-                        break
-                    seen[term] = value
-            if consistent:
-                viable.append(candidate)
-        if not viable:
-            return set()
-        if not clause.body:
-            return set(viable)
-
-        # Project candidates onto the distinct head variables.
-        first_position: Dict[Variable, int] = {}
-        for position, term in enumerate(clause.head.terms):
-            if isinstance(term, Variable) and term not in first_position:
-                first_position[term] = position
-        variables = sorted(first_position, key=lambda v: first_position[v])
-        if not variables:
-            # All-constant head: the body does not reference the candidates.
-            return set(viable) if self.satisfiable(clause.body) else set()
-        projections: Dict[Row, List[Row]] = {}
-        for candidate in viable:
-            key = tuple(candidate[first_position[v]] for v in variables)
-            projections.setdefault(key, []).append(candidate)
-
-        self._temp_counter += 1
-        temp = _quote(f"cand_{self._temp_counter}")
-        columns = ", ".join(f"x{i}" for i in range(len(variables))) or "x0"
-        try:
-            stored_keys = [
-                tuple(_storable(v) for v in key) for key in projections
-            ]
-        except BackendValueError:
-            raise CompilationNotSupported("unstorable candidate value")
-        outer_columns = {
-            variable: f"cand.x{i}" for i, variable in enumerate(variables)
-        }
-        compiled = self._compile_body(clause.body, outer_columns=outer_columns)
-        if compiled.empty:
-            return set()
-        self._connection.execute(f"CREATE TEMP TABLE {temp} ({columns})")
-        try:
-            placeholders = ", ".join("?" for _ in range(max(1, len(variables))))
-            self._connection.executemany(
-                f"INSERT INTO {temp} VALUES ({placeholders})", stored_keys
+        connection = connection or self._connection
+        result = self._covered_batch_on(connection, [(0, clause)], candidates)[0]
+        if result is None:
+            raise CompilationNotSupported(
+                "clause not compilable for set-at-a-time coverage"
             )
-            exists = self._sql_for(compiled, "1")
-            select = ", ".join(f"cand.x{i}" for i in range(len(variables))) or "1"
-            sql = (
-                f"SELECT {select} FROM {temp} AS cand "
-                f"WHERE EXISTS ({exists})"
-            )
-            covered: Set[Row] = set()
-            for row in self._connection.execute(sql, compiled.params):
-                for candidate in projections.get(tuple(row), []):
-                    covered.add(candidate)
-            return covered
-        finally:
-            self._connection.execute(f"DROP TABLE {temp}")
+        return result
+
+    def covered_head_tuples_batch(
+        self,
+        clauses: Sequence[HornClause],
+        candidates: Sequence[Sequence[object]],
+        parallelism: Optional[int] = None,
+    ) -> List[Optional[Set[Row]]]:
+        """Covered candidate sets for N clauses against one candidate list.
+
+        Sharing one candidate temp table per head signature amortizes the
+        per-clause setup the sequential path pays N times.  Entries are
+        ``None`` for clauses that need the tuple-at-a-time fallback.  The
+        single-connection backend ignores ``parallelism``; the pooled
+        subclass fans groups out across snapshot connections.
+        """
+        del parallelism  # one connection: batching amortizes, threads cannot
+        indexed = list(enumerate(clauses))
+        results = self._covered_batch_on(self._connection, indexed, candidates)
+        return [results[index] for index in range(len(indexed))]
 
     def __repr__(self) -> str:
         return f"SQLiteBackend({len(self._relations)} relations)"
+
+
+class SQLiteReadPool:
+    """A pool of snapshot connections over one source SQLite database.
+
+    Each pooled connection is an independent in-memory copy of the source
+    (built with SQLite's online backup), so worker threads can evaluate
+    queries truly concurrently: ``sqlite3`` releases the GIL inside
+    ``step()`` and per-copy connections never contend on page locks.
+    Snapshots are refreshed lazily — ``state_fn`` returns a cheap token of
+    the source's current state, and a leased connection whose token is stale
+    is re-copied before use, so mutations between batches are always visible.
+    """
+
+    def __init__(
+        self,
+        source: sqlite3.Connection,
+        state_fn: Callable[[], object],
+        max_idle: int = 8,
+        source_owned: bool = True,
+    ):
+        self._source = source
+        self._state_fn = state_fn
+        self._max_idle = int(max_idle)
+        # ``source_owned`` marks a source connection the backend created
+        # itself (autocommit, no caller-managed transactions): only then may
+        # the pool commit a stray open transaction before a backup.
+        self._source_owned = bool(source_owned)
+        self._lock = threading.Lock()
+        self._idle: List[Tuple[sqlite3.Connection, object]] = []
+        self.snapshots_taken = 0
+
+    def _snapshot(
+        self, connection: Optional[sqlite3.Connection] = None
+    ) -> Tuple[sqlite3.Connection, object]:
+        # Called with self._lock held: snapshot refreshes are serialized so
+        # the source connection is never used from two threads at once.
+        # Token is read BEFORE the copy: a write racing the backup leaves the
+        # snapshot newer than its token, which only causes a harmless refresh.
+        state = self._state_fn()
+        if connection is None:
+            connection = sqlite3.connect(
+                ":memory:", check_same_thread=False, isolation_level=None
+            )
+            connection.execute("PRAGMA temp_store = MEMORY")
+        if self._source.in_transaction:
+            # The online backup cannot copy past an open write transaction.
+            if not self._source_owned:
+                raise RuntimeError(
+                    "cannot snapshot a caller-supplied connection with an "
+                    "open transaction; commit or roll back before batched "
+                    "coverage on the pooled backend"
+                )
+            self._source.commit()
+        self._source.backup(connection)
+        self.snapshots_taken += 1
+        return connection, state
+
+    @contextmanager
+    def lease(self) -> Iterator[sqlite3.Connection]:
+        """Borrow a fresh-enough snapshot connection for the ``with`` block."""
+        with self._lock:
+            entry = self._idle.pop() if self._idle else None
+            current = self._state_fn()
+            if entry is None:
+                connection, state = self._snapshot()
+            else:
+                connection, state = entry
+                if state != current:
+                    connection, state = self._snapshot(connection)
+        try:
+            yield connection
+        finally:
+            with self._lock:
+                if len(self._idle) < self._max_idle:
+                    self._idle.append((connection, state))
+                    connection = None
+            if connection is not None:
+                connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            for connection, _ in self._idle:
+                connection.close()
+            self._idle.clear()
+
+
+class PooledSQLiteBackend(SQLiteBackend):
+    """SQLite backend with a snapshot read pool for the parallel covering loop.
+
+    Storage and single-statement evaluation are inherited unchanged; the
+    difference is batched coverage: ``covered_head_tuples_batch`` fans the
+    candidate clauses out over a thread pool in which every worker queries
+    its own snapshot connection, so scoring one generation of refinements
+    uses multiple cores on top of the temp-table amortization of the base
+    backend.  Writes go to the primary connection and invalidate snapshots
+    lazily (see :class:`SQLiteReadPool`).
+    """
+
+    name = "sqlite-pooled"
+
+    def __init__(
+        self,
+        connection: Optional[sqlite3.Connection] = None,
+        pool_size: Optional[int] = None,
+    ):
+        owns_connection = connection is None
+        if connection is None:
+            # The pool's backup runs from worker threads, so the primary must
+            # not be pinned to its creating thread (serialized SQLite builds
+            # lock internally; the pool lock serializes every backup anyway).
+            connection = sqlite3.connect(
+                ":memory:", check_same_thread=False, isolation_level=None
+            )
+        super().__init__(connection)
+        if pool_size is None:
+            pool_size = min(4, os.cpu_count() or 1)
+        self.pool_size = max(1, int(pool_size))
+        self.pool = SQLiteReadPool(
+            self._connection, self._pool_state, source_owned=owns_connection
+        )
+
+    def _pool_state(self) -> Tuple[int, int]:
+        # Relation mutations bump the data version; new relations change the
+        # count.  Deliberately NOT total_changes: scratch temp-table writes
+        # from read-only coverage calls must not invalidate snapshots.
+        return (len(self._relations), self._data_version)
+
+    def covered_head_tuples_batch(
+        self,
+        clauses: Sequence[HornClause],
+        candidates: Sequence[Sequence[object]],
+        parallelism: Optional[int] = None,
+    ) -> List[Optional[Set[Row]]]:
+        workers = self.pool_size if parallelism is None else max(1, int(parallelism))
+        clause_list = list(clauses)
+        workers = min(workers, len(clause_list))
+        if workers <= 1:
+            return super().covered_head_tuples_batch(clause_list, candidates)
+
+        chunks: List[List[Tuple[int, HornClause]]] = [[] for _ in range(workers)]
+        for index, clause in enumerate(clause_list):
+            chunks[index % workers].append((index, clause))
+
+        def run(chunk: List[Tuple[int, HornClause]]) -> Dict[int, Optional[Set[Row]]]:
+            with self.pool.lease() as snapshot:
+                return self._covered_batch_on(snapshot, chunk, candidates)
+
+        results: Dict[int, Optional[Set[Row]]] = {}
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            for partial in executor.map(run, chunks):
+                results.update(partial)
+        return [results[index] for index in range(len(clause_list))]
+
+    def __repr__(self) -> str:
+        return (
+            f"PooledSQLiteBackend({len(self._relations)} relations, "
+            f"pool_size={self.pool_size})"
+        )
+
+
+class SaturationStore:
+    """Ground saturations materialized into tagged tables for compiled
+    θ-subsumption coverage (Section 7.5.3 pushed into SQL).
+
+    Every materialized example gets an integer id.  The saturation's head
+    tuple goes into a per-(target, arity) ``sat_head_*`` table and each
+    ground body atom into a per-(predicate, arity) ``sat_body_*`` table
+    tagged with the id.  ``covered_ids`` then answers "which materialized
+    examples does clause C cover" with ONE statement: C θ-subsumes a ground
+    clause D exactly when D's body, read as a canonical database, satisfies
+    C's body under the head matching — an ``EXISTS`` join that SQLite
+    evaluates for every example's saturation at once.
+
+    Unlike the Python :class:`~repro.logic.subsumption.SubsumptionEngine`
+    the SQL path has no backtrack budget: clauses whose Python search would
+    exhaust ``max_backtracks`` (and conservatively report "not covered") are
+    decided exactly here.
+
+    Examples whose head or saturation contains values SQLite cannot store
+    (or non-ground atoms) are rejected with :class:`BackendValueError`; the
+    coverage engine keeps testing those through the Python engine.
+    """
+
+    def __init__(self) -> None:
+        self._connection = sqlite3.connect(
+            ":memory:", check_same_thread=False, isolation_level=None
+        )
+        self._connection.execute("PRAGMA temp_store = MEMORY")
+        self._lock = threading.RLock()
+        self._head_tables: Dict[Tuple[str, int], str] = {}
+        self._body_tables: Dict[Tuple[str, int], str] = {}
+        self._ids = itertools.count(1)
+        self._key_ids: Dict[Tuple[str, Row], int] = {}
+        self._size = 0
+        self._stale_statistics = False
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+    def _head_table(self, target: str, arity: int) -> str:
+        table = self._head_tables.get((target, arity))
+        if table is None:
+            table = _quote(f"sat_head_{target}_{arity}")
+            columns = ", ".join(f"h{i}" for i in range(arity))
+            self._connection.execute(
+                f"CREATE TABLE {table} (ex INTEGER PRIMARY KEY, {columns})"
+            )
+            self._head_tables[(target, arity)] = table
+        return table
+
+    def _body_table(self, predicate: str, arity: int) -> str:
+        table = self._body_tables.get((predicate, arity))
+        if table is None:
+            table = _quote(f"sat_body_{predicate}_{arity}")
+            columns = ", ".join(f"c{i}" for i in range(arity))
+            self._connection.execute(f"CREATE TABLE {table} (ex INTEGER, {columns})")
+            for i in range(arity):
+                index_name = _quote(f"idx_sat_{predicate}_{arity}_c{i}")
+                self._connection.execute(
+                    f"CREATE INDEX {index_name} ON {table} (ex, c{i})"
+                )
+            self._body_tables[(predicate, arity)] = table
+        return table
+
+    def add_example(
+        self, target: str, head_values: Sequence[object], body: Sequence[Atom]
+    ) -> int:
+        """Materialize one example's ground saturation; returns its id.
+
+        Validates everything before touching the database so a rejected
+        example leaves no partial rows behind.  Re-adding an example already
+        in the store returns its existing id without inserting (so a store
+        may be shared by several coverage engines over the same instance —
+        saturations of one example are identical across them).
+        """
+        head_row = tuple(head_values)
+        if not head_row:
+            raise BackendValueError("cannot materialize a zero-arity example head")
+        stored_head = tuple(_storable(v) for v in head_row)
+        existing = self._key_ids.get((target, stored_head))
+        if existing is not None:
+            return existing
+        prepared: Dict[Tuple[str, int], List[Row]] = {}
+        for atom in body:
+            if atom.arity == 0:
+                raise BackendValueError("cannot materialize a zero-arity atom")
+            values: List[object] = []
+            for term in atom.terms:
+                if not isinstance(term, Constant):
+                    raise BackendValueError(
+                        f"saturation atom {atom} is not ground"
+                    )
+                values.append(_storable(term.value))
+            prepared.setdefault((atom.predicate, atom.arity), []).append(tuple(values))
+
+        with self._lock:
+            racing = self._key_ids.get((target, stored_head))
+            if racing is not None:
+                return racing
+            example_id = next(self._ids)
+            head_table = self._head_table(target, len(head_row))
+            placeholders = ", ".join("?" for _ in range(len(head_row) + 1))
+            self._connection.execute(
+                f"INSERT INTO {head_table} VALUES ({placeholders})",
+                (example_id, *stored_head),
+            )
+            for (predicate, arity), rows in prepared.items():
+                body_table = self._body_table(predicate, arity)
+                row_placeholders = ", ".join("?" for _ in range(arity + 1))
+                self._connection.executemany(
+                    f"INSERT INTO {body_table} VALUES ({row_placeholders})",
+                    [(example_id, *row) for row in rows],
+                )
+            self._key_ids[(target, stored_head)] = example_id
+            self._size += 1
+            self._stale_statistics = True
+            return example_id
+
+    # ------------------------------------------------------------------ #
+    # Coverage
+    # ------------------------------------------------------------------ #
+    def covered_ids(self, clause: HornClause) -> Set[int]:
+        """Ids of every materialized example the clause covers — one query.
+
+        Raises :class:`CompilationNotSupported` for bodies above the join
+        limit; the caller falls back to the Python subsumption engine for
+        that clause.
+        """
+        head = clause.head
+        with self._lock:
+            head_table = self._head_tables.get((head.predicate, head.arity))
+            if head_table is None:
+                return set()
+            if self._stale_statistics:
+                # Without index statistics SQLite's greedy planner can pick
+                # catastrophic orders for wide saturation joins (50x+ slower);
+                # ANALYZE after a materialization round costs ~1 ms.
+                self._connection.execute("ANALYZE")
+                self._stale_statistics = False
+
+            where: List[str] = []
+            params: List[object] = []
+            outer_columns: Dict[Variable, str] = {}
+            first_column: Dict[Variable, int] = {}
+            for position, term in enumerate(head.terms):
+                column = f"cand.h{position}"
+                if isinstance(term, Constant):
+                    try:
+                        params.append(_storable(term.value))
+                    except BackendValueError:
+                        # Stored head values are storable, so nothing matches.
+                        return set()
+                    where.append(f"{column} = ?")
+                    continue
+                known = first_column.get(term)
+                if known is None:
+                    first_column[term] = position
+                    outer_columns[term] = column
+                else:
+                    where.append(f"{column} = cand.h{known}")
+
+            if clause.body:
+                compiled = compile_conjunction(
+                    clause.body,
+                    lambda atom: self._body_tables.get((atom.predicate, atom.arity)),
+                    outer_columns=outer_columns,
+                    alias_condition=lambda alias: f"{alias}.ex = cand.ex",
+                )
+                if compiled.empty:
+                    return set()
+                exists = "SELECT 1 FROM " + ", ".join(compiled.from_items)
+                if compiled.where:
+                    exists += " WHERE " + " AND ".join(compiled.where)
+                where.append(f"EXISTS ({exists})")
+                params.extend(compiled.params)
+
+            sql = f"SELECT cand.ex FROM {head_table} AS cand"
+            if where:
+                sql += " WHERE " + " AND ".join(where)
+            return {row[0] for row in self._connection.execute(sql, params)}
+
+    def __repr__(self) -> str:
+        return (
+            f"SaturationStore({self._size} examples, "
+            f"{len(self._body_tables)} predicates)"
+        )

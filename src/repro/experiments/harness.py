@@ -41,6 +41,18 @@ class LearnerSpec:
         return f"LearnerSpec({self.name!r})"
 
 
+def _apply_parallelism(learner: object, parallelism: Optional[int]) -> object:
+    """Set the clause-scoring fan-out on learners that expose the knob.
+
+    Learners without a ``parallelism`` attribute (e.g. Golem/Progol) are
+    returned unchanged — the knob is best-effort by design so the harness
+    can drive heterogeneous learner line-ups.
+    """
+    if parallelism is not None and hasattr(learner, "parallelism"):
+        learner.parallelism = parallelism
+    return learner
+
+
 class VariantResult:
     """Metrics of one learner on one schema variant."""
 
@@ -89,11 +101,15 @@ def run_variant(
     folds: int = 3,
     seed: int = 0,
     backend: Optional[str] = None,
+    parallelism: Optional[int] = None,
 ) -> VariantResult:
     """Cross-validate one learner on one schema variant of the dataset.
 
     ``backend`` selects the storage/evaluation backend the instance is
-    materialized on (``memory``/``sqlite``); ``None`` keeps the bundle's own.
+    materialized on (``memory``/``sqlite``/``sqlite-pooled``); ``None``
+    keeps the bundle's own.  ``parallelism`` sets the clause-scoring fan-out
+    on learners that support it (results are identical for every value; only
+    wall-clock time changes).
     """
     schema = bundle.schema(variant_name)
     instance = bundle.instance(variant_name)
@@ -101,7 +117,7 @@ def run_variant(
         instance = instance.with_backend(backend)
 
     def factory() -> object:
-        return learner_spec.build(schema)
+        return _apply_parallelism(learner_spec.build(schema), parallelism)
 
     if folds <= 1:
         learner = factory()
@@ -142,6 +158,7 @@ def run_schema_sweep(
     folds: int = 3,
     seed: int = 0,
     backend: Optional[str] = None,
+    parallelism: Optional[int] = None,
 ) -> List[VariantResult]:
     """Run every learner on every schema variant (one of the paper's tables)."""
     variants = list(variants or bundle.variant_names)
@@ -152,7 +169,16 @@ def run_schema_sweep(
     results: List[VariantResult] = []
     for learner_spec in learner_specs:
         for variant_name in variants:
-            results.append(run_variant(bundle, variant_name, learner_spec, folds, seed))
+            results.append(
+                run_variant(
+                    bundle,
+                    variant_name,
+                    learner_spec,
+                    folds,
+                    seed,
+                    parallelism=parallelism,
+                )
+            )
     return results
 
 
@@ -197,6 +223,7 @@ def check_schema_independence(
     variants: Optional[Sequence[str]] = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    parallelism: Optional[int] = None,
 ) -> SchemaIndependenceReport:
     """Learn on every variant with the full training data and compare outputs.
 
@@ -212,7 +239,7 @@ def check_schema_independence(
     for variant_name in variants:
         schema = bundle.schema(variant_name)
         instance = bundle.instance(variant_name)
-        learner = learner_spec.build(schema)
+        learner = _apply_parallelism(learner_spec.build(schema), parallelism)
         definition = learner.learn(instance, bundle.examples)
         definitions[variant_name] = definition
         results[variant_name] = frozenset(definition_results(definition, instance))

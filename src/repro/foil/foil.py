@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
-from ..learning.coverage import QueryCoverageEngine
+from ..learning.coverage import BatchCoverageEngine, QueryCoverageEngine
 from ..learning.covering import CoveringLearner, CoveringParameters
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
@@ -31,6 +31,11 @@ class FoilParameters:
     single literal has positive gain (the role of FOIL's determinate
     literals): the top candidates by coverage are each extended by one more
     literal and the best gaining *pair* is added.
+
+    ``parallelism`` bounds how many candidate refinements one scoring batch
+    may evaluate concurrently (identical results for every value);
+    ``max_seconds`` is the covering loop's soft deadline — when it elapses,
+    the clauses accepted so far are returned.
     """
 
     def __init__(
@@ -42,6 +47,8 @@ class FoilParameters:
         lookahead_candidates: int = 10,
         lookahead_extensions: int = 60,
         refinement: Optional[RefinementConfig] = None,
+        max_seconds: Optional[float] = None,
+        parallelism: int = 1,
     ):
         self.max_clause_length = int(max_clause_length)
         self.min_precision = float(min_precision)
@@ -50,6 +57,8 @@ class FoilParameters:
         self.lookahead_candidates = int(lookahead_candidates)
         self.lookahead_extensions = int(lookahead_extensions)
         self.refinement = refinement or RefinementConfig()
+        self.max_seconds = max_seconds
+        self.parallelism = max(1, int(parallelism))
 
 
 class _FoilClauseLearner:
@@ -59,6 +68,9 @@ class _FoilClauseLearner:
         self.schema = schema
         self.parameters = parameters
         self.coverage = coverage
+        self.batch = BatchCoverageEngine(
+            coverage, parallelism=getattr(parameters, "parallelism", 1)
+        )
 
     def learn_clause(
         self,
@@ -105,22 +117,46 @@ class _FoilClauseLearner:
         return clause
 
     # ------------------------------------------------------------------ #
+    def _batch_gains(self, candidates, covered_pos, covered_neg):
+        """Batched FOIL gain for a list of candidate clauses.
+
+        Positive coverage of the whole batch is computed in one call; only
+        candidates passing ``min_positives`` pay for negative coverage (a
+        second, smaller batch).  Returns ``(gain, new_pos, new_neg) | None``
+        per candidate, in input order.
+        """
+        pos_lists = self.batch.covered_examples_batch(candidates, covered_pos)
+        survivors = [
+            index
+            for index, new_pos in enumerate(pos_lists)
+            if len(new_pos) >= self.parameters.min_positives
+        ]
+        neg_lists = self.batch.covered_examples_batch(
+            [candidates[index] for index in survivors], covered_neg
+        )
+        results: List[Optional[tuple]] = [None] * len(candidates)
+        for index, new_neg in zip(survivors, neg_lists):
+            new_pos = pos_lists[index]
+            gain = foil_gain(
+                len(covered_pos), len(covered_neg), len(new_pos), len(new_neg)
+            )
+            results[index] = (gain, new_pos, new_neg)
+        return results
+
     def _score_single_literals(self, operator, clause, covered_pos, covered_neg):
         """Score every one-literal refinement; best first.
 
         Each entry is ``(gain, [literal], (new_pos, new_neg))``.  Candidates
-        covering fewer than ``min_positives`` positives are discarded.
+        covering fewer than ``min_positives`` positives are discarded.  All
+        refinements of the clause are scored as one coverage batch.
         """
+        literals = operator.candidate_literals_for_clause(clause)
+        candidates = [clause.add_literal(literal) for literal in literals]
         scored = []
-        for literal in operator.candidate_literals_for_clause(clause):
-            candidate = clause.add_literal(literal)
-            new_pos = self.coverage.covered_examples(candidate, covered_pos)
-            if len(new_pos) < self.parameters.min_positives:
+        for literal, entry in zip(literals, self._batch_gains(candidates, covered_pos, covered_neg)):
+            if entry is None:
                 continue
-            new_neg = self.coverage.covered_examples(candidate, covered_neg)
-            gain = foil_gain(
-                len(covered_pos), len(covered_neg), len(new_pos), len(new_neg)
-            )
+            gain, new_pos, new_neg = entry
             scored.append((gain, [literal], (new_pos, new_neg)))
         scored.sort(key=lambda entry: (entry[0], len(entry[2][0]), -len(entry[2][1])), reverse=True)
         return scored
@@ -129,22 +165,22 @@ class _FoilClauseLearner:
         """Two-literal lookahead used when no single literal has positive gain.
 
         The top zero-gain candidates (typically literals that only introduce a
-        join variable) are each extended by one further literal; the best
+        join variable) are each extended by one further literal; each
+        intermediate's extensions are scored as one batch and the best
         gaining pair, if any, is returned.
         """
         best = None
         for _, literals, _ in scored[: self.parameters.lookahead_candidates]:
             intermediate = clause.add_literal(literals[0])
             extensions = operator.candidate_literals_for_clause(intermediate)
-            for extension in extensions[: self.parameters.lookahead_extensions]:
-                candidate = intermediate.add_literal(extension)
-                new_pos = self.coverage.covered_examples(candidate, covered_pos)
-                if len(new_pos) < self.parameters.min_positives:
+            extensions = extensions[: self.parameters.lookahead_extensions]
+            candidates = [intermediate.add_literal(ext) for ext in extensions]
+            for extension, entry in zip(
+                extensions, self._batch_gains(candidates, covered_pos, covered_neg)
+            ):
+                if entry is None:
                     continue
-                new_neg = self.coverage.covered_examples(candidate, covered_neg)
-                gain = foil_gain(
-                    len(covered_pos), len(covered_neg), len(new_pos), len(new_neg)
-                )
+                gain, new_pos, new_neg = entry
                 if gain > 0 and (best is None or gain > best[0]):
                     best = (gain, [literals[0], extension], (new_pos, new_neg))
         return best
@@ -155,12 +191,34 @@ class FoilLearner:
 
     name = "FOIL"
 
-    def __init__(self, schema: Schema, parameters: Optional[FoilParameters] = None):
+    def __init__(
+        self,
+        schema: Schema,
+        parameters: Optional[FoilParameters] = None,
+        backend: Optional[str] = None,
+        parallelism: Optional[int] = None,
+    ):
         self.schema = schema
         self.parameters = parameters or FoilParameters()
+        # Storage/evaluation backend the learner wants the instance on
+        # (None = use the instance as given).
+        self.backend = backend
+        if parallelism is not None:
+            self.parameters.parallelism = max(1, int(parallelism))
+
+    @property
+    def parallelism(self) -> int:
+        """Clause-level scoring fan-out (the experiment harness sets this)."""
+        return self.parameters.parallelism
+
+    @parallelism.setter
+    def parallelism(self, value: int) -> None:
+        self.parameters.parallelism = max(1, int(value))
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
         """Learn a Horn definition of the examples' target relation."""
+        if self.backend is not None and self.backend != instance.backend_name:
+            instance = instance.with_backend(self.backend)
         coverage = QueryCoverageEngine(instance)
         clause_learner = _FoilClauseLearner(self.schema, self.parameters, coverage)
         covering = CoveringLearner(
@@ -174,6 +232,8 @@ class FoilLearner:
                 min_precision=self.parameters.min_precision,
                 min_positives=self.parameters.min_positives,
                 max_clauses=self.parameters.max_clauses,
+                max_seconds=self.parameters.max_seconds,
+                parallelism=self.parameters.parallelism,
             ),
         )
         return covering.learn(instance, examples)

@@ -7,6 +7,8 @@ from .bottom_clause import (
     build_saturation,
 )
 from .coverage import (
+    BatchCoverageEngine,
+    CoverageBatch,
     CoverageResult,
     QueryCoverageEngine,
     SubsumptionCoverageEngine,
@@ -28,9 +30,11 @@ from .examples import (
 )
 
 __all__ = [
+    "BatchCoverageEngine",
     "BottomClauseBuilder",
     "BottomClauseConfig",
     "ClauseLearner",
+    "CoverageBatch",
     "CoverageResult",
     "CoveringLearner",
     "CoveringParameters",

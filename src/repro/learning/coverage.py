@@ -7,10 +7,18 @@ Two strategies are provided, mirroring Section 7.5:
   strategy; saturations are built once per example and cached.  Coverage of
   independent examples can be tested in parallel with a thread pool, and a
   per-(clause, example) cache plus a generality shortcut ("if C covers e then
-  any generalization of C covers e") avoids repeated work.
+  any generalization of C covers e") avoids repeated work.  When enabled,
+  the **compiled** path materializes saturations into a
+  :class:`~repro.database.sqlite_backend.SaturationStore` and tests a clause
+  against every example's saturation with one SQL statement.
 * **Query coverage** — a clause covers ``e`` iff the body, with head
   variables bound to ``e``'s values, is satisfiable in the database.  This is
   the join-based evaluation that top-down learners with short clauses use.
+
+Both engines additionally answer **batched** requests — N candidate clauses
+against one example set — through :class:`BatchCoverageEngine`, which the
+covering loop uses to score a whole generation of refinements in one call
+(fanned out across a connection pool on the ``sqlite-pooled`` backend).
 """
 
 from __future__ import annotations
@@ -21,6 +29,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..database.instance import DatabaseInstance
 from ..database.query import QueryEvaluator
+from ..database.sqlite_backend import (
+    BackendValueError,
+    CompilationNotSupported,
+    SaturationStore,
+)
 from ..logic.clauses import HornClause
 from ..logic.subsumption import GroundClauseIndex, SubsumptionEngine
 from .bottom_clause import BottomClauseBuilder, BottomClauseConfig
@@ -71,13 +84,35 @@ class SubsumptionCoverageEngine:
     threads:
         Number of worker threads used for coverage tests (Figure 2 studies
         the effect of this knob); 1 means fully sequential.
+    compiled:
+        ``True`` pushes set-at-a-time coverage into SQL: saturations are
+        additionally materialized into a
+        :class:`~repro.database.sqlite_backend.SaturationStore` and
+        ``covered_examples`` tests the clause against every saturation with
+        one statement.  ``False`` disables it; ``None`` (default) enables it
+        when the instance lives on a SQLite-family backend.  Examples or
+        clauses the store cannot express silently fall back to the Python
+        engine, with one caveat: the SQL path has no backtrack budget, so
+        clauses whose Python search would exhaust ``max_backtracks`` are
+        decided exactly instead of conservatively reported uncovered.
+    saturation_store:
+        An existing :class:`~repro.database.sqlite_backend.SaturationStore`
+        to materialize into (re-added examples are deduplicated), so several
+        engines over the *same instance* — e.g. cross-validation folds —
+        share one warm store instead of re-materializing.
     """
+
+    #: Below this many examples a compiled set-at-a-time statement does not
+    #: pay for itself; single tests stay on the Python engine.
+    COMPILED_MIN_EXAMPLES = 4
 
     def __init__(
         self,
         instance: DatabaseInstance,
         saturation_config: Optional[BottomClauseConfig] = None,
         threads: int = 1,
+        compiled: Optional[bool] = None,
+        saturation_store: Optional[SaturationStore] = None,
     ):
         self.instance = instance
         self.builder = BottomClauseBuilder(
@@ -85,12 +120,23 @@ class SubsumptionCoverageEngine:
         )
         self.subsumption = SubsumptionEngine()
         self.threads = max(1, int(threads))
+        if compiled is None:
+            compiled = instance.backend_name.startswith("sqlite")
+        self.compiled_enabled = bool(compiled)
         self._saturation_cache: Dict[Example, HornClause] = {}
         self._saturation_index_cache: Dict[Example, GroundClauseIndex] = {}
-        self._coverage_cache: Dict[Tuple[int, Example], bool] = {}
+        self._coverage_cache: Dict[Tuple[HornClause, Example], bool] = {}
+        self._compiled_store: Optional[SaturationStore] = saturation_store
+        self._compiled_ids: Dict[Example, int] = {}
+        self._compiled_failed: Set[Example] = set()
         self._lock = threading.Lock()
+        # Serializes store creation + materialization so concurrent batch
+        # workers never race to create two stores (whose independent id
+        # sequences would collide in _compiled_ids).
+        self._materialize_lock = threading.Lock()
         self.coverage_tests_performed = 0
         self.cache_hits = 0
+        self.compiled_statements = 0
 
     # ------------------------------------------------------------------ #
     # Saturations
@@ -121,7 +167,7 @@ class SubsumptionCoverageEngine:
     # ------------------------------------------------------------------ #
     def covers(self, clause: HornClause, example: Example, use_cache: bool = True) -> bool:
         """True when ``clause`` covers ``example`` (θ-subsumes its saturation)."""
-        key = (id(clause), example)
+        key = (clause, example)
         if use_cache:
             with self._lock:
                 cached = self._coverage_cache.get(key)
@@ -140,12 +186,102 @@ class SubsumptionCoverageEngine:
     def covered_examples(
         self, clause: HornClause, examples: Sequence[Example]
     ) -> List[Example]:
-        """The subset of ``examples`` covered by ``clause`` (possibly in parallel)."""
+        """The subset of ``examples`` covered by ``clause``.
+
+        On the compiled path one SQL statement tests the clause against every
+        materialized saturation; otherwise the examples are tested one by one
+        (optionally across the engine's thread pool).
+        """
+        if self.compiled_enabled and len(examples) >= self.COMPILED_MIN_EXAMPLES:
+            compiled = self._covered_examples_compiled(clause, examples)
+            if compiled is not None:
+                return compiled
         if self.threads == 1 or len(examples) < 4:
             return [e for e in examples if self.covers(clause, e)]
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
             flags = list(pool.map(lambda e: self.covers(clause, e), examples))
         return [example for example, flag in zip(examples, flags) if flag]
+
+    def covered_examples_batch(
+        self,
+        clauses: Sequence[HornClause],
+        examples: Sequence[Example],
+        parallelism: int = 1,
+    ) -> List[List[Example]]:
+        """Covered subsets for N clauses against one example list, in order.
+
+        Saturations are materialized once for the whole batch; each clause
+        then costs one compiled statement (or the cached/Python fallback).
+        ``parallelism`` fans clauses out across threads — results are
+        identical and in input order for any value.
+        """
+        clause_list = list(clauses)
+        if parallelism <= 1 or len(clause_list) < 2:
+            return [self.covered_examples(c, examples) for c in clause_list]
+        workers = min(int(parallelism), len(clause_list))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda c: self.covered_examples(c, examples), clause_list)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Compiled (SQL) subsumption coverage
+    # ------------------------------------------------------------------ #
+    def _materialize(self, examples: Sequence[Example]) -> None:
+        """Add any not-yet-stored saturations to the compiled store."""
+        with self._materialize_lock:
+            store = self._compiled_store
+            if store is None:
+                store = self._compiled_store = SaturationStore()
+            for example in examples:
+                if example in self._compiled_ids or example in self._compiled_failed:
+                    continue
+                saturation = self.saturation(example)
+                try:
+                    self._compiled_ids[example] = store.add_example(
+                        example.target, example.values, saturation.body
+                    )
+                except BackendValueError:
+                    self._compiled_failed.add(example)
+
+    def _covered_examples_compiled(
+        self, clause: HornClause, examples: Sequence[Example]
+    ) -> Optional[List[Example]]:
+        """Set-at-a-time coverage via the saturation store.
+
+        Returns ``None`` when the clause itself cannot be compiled (the
+        caller falls through to the Python path).  Examples the store
+        rejected are tested individually through :meth:`covers`.
+        """
+        self._materialize(examples)
+        store = self._compiled_store
+        assert store is not None
+        try:
+            covered_ids = store.covered_ids(clause)
+        except CompilationNotSupported:
+            return None
+        self.compiled_statements += 1
+
+        flags: Dict[Example, bool] = {}
+        pending: List[Example] = []
+        with self._lock:
+            for example in examples:
+                cached = self._coverage_cache.get((clause, example))
+                if cached is not None:
+                    self.cache_hits += 1
+                    flags[example] = cached
+                    continue
+                example_id = self._compiled_ids.get(example)
+                if example_id is None:
+                    pending.append(example)
+                    continue
+                flag = example_id in covered_ids
+                self._coverage_cache[(clause, example)] = flag
+                self.coverage_tests_performed += 1
+                flags[example] = flag
+        for example in pending:
+            flags[example] = self.covers(clause, example)
+        return [example for example in examples if flags[example]]
 
     def evaluate(
         self,
@@ -171,7 +307,7 @@ class SubsumptionCoverageEngine:
         """
         with self._lock:
             for example in covered:
-                self._coverage_cache[(id(general_clause), example)] = True
+                self._coverage_cache[(general_clause, example)] = True
 
 
 class QueryCoverageEngine:
@@ -202,6 +338,30 @@ class QueryCoverageEngine:
         self.coverage_tests_performed += len(examples)
         return [example for example in examples if example.values in covered]
 
+    def covered_examples_batch(
+        self,
+        clauses: Sequence[HornClause],
+        examples: Sequence[Example],
+        parallelism: int = 1,
+    ) -> List[List[Example]]:
+        """Covered subsets for N clauses against one example list, in order.
+
+        The whole batch is handed to the evaluator in one call; SQLite-family
+        backends amortize the candidate temp table across the batch, and the
+        pooled backend additionally fans clauses out over snapshot
+        connections when ``parallelism > 1``.
+        """
+        clause_list = list(clauses)
+        values = [example.values for example in examples]
+        covered_sets = self.evaluator.covered_tuples_batch(
+            clause_list, values, parallelism=parallelism
+        )
+        self.coverage_tests_performed += len(examples) * len(clause_list)
+        return [
+            [example for example in examples if example.values in covered]
+            for covered in covered_sets
+        ]
+
     def evaluate(
         self,
         clause: HornClause,
@@ -215,26 +375,130 @@ class QueryCoverageEngine:
         )
 
 
+class CoverageBatch:
+    """One generation of candidate clauses to score against shared examples.
+
+    A convenience value object for callers that assemble scoring work in one
+    place (the covering loop's beam expansion, FOIL's refinement scoring)
+    before handing it to :class:`BatchCoverageEngine`.
+    """
+
+    __slots__ = ("clauses", "positives", "negatives")
+
+    def __init__(
+        self,
+        clauses: Iterable[HornClause],
+        positives: Sequence[Example] = (),
+        negatives: Sequence[Example] = (),
+    ):
+        self.clauses: List[HornClause] = list(clauses)
+        self.positives: List[Example] = list(positives)
+        self.negatives: List[Example] = list(negatives)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverageBatch({len(self.clauses)} clauses, "
+            f"+{len(self.positives)}/-{len(self.negatives)} examples)"
+        )
+
+
+class BatchCoverageEngine:
+    """Score N candidate clauses against one example set in a single call.
+
+    Wraps either coverage engine and dispatches to its batched entry point,
+    so the covering loop stays agnostic of the subsumption-vs-query
+    distinction.  Results always come back in input order and are identical
+    for every ``parallelism`` value — parallelism only changes wall-clock
+    time, never which examples a clause covers.
+    """
+
+    def __init__(self, engine, parallelism: int = 1):
+        self.engine = engine
+        self.parallelism = max(1, int(parallelism))
+
+    def covered_examples_batch(
+        self, clauses: Sequence[HornClause], examples: Sequence[Example]
+    ) -> List[List[Example]]:
+        """Per-clause covered subsets of ``examples``, in input order."""
+        clause_list = list(clauses)
+        batch = getattr(self.engine, "covered_examples_batch", None)
+        if batch is not None:
+            return batch(clause_list, examples, parallelism=self.parallelism)
+        if self.parallelism > 1 and len(clause_list) > 1:
+            workers = min(self.parallelism, len(clause_list))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(
+                        lambda c: self.engine.covered_examples(c, examples),
+                        clause_list,
+                    )
+                )
+        return [self.engine.covered_examples(c, examples) for c in clause_list]
+
+    def evaluate_batch(
+        self,
+        clauses: Sequence[HornClause],
+        positives: Sequence[Example],
+        negatives: Sequence[Example],
+    ) -> List[CoverageResult]:
+        """One :class:`CoverageResult` per clause, in input order."""
+        clause_list = list(clauses)
+        covered_positives = self.covered_examples_batch(clause_list, positives)
+        covered_negatives = self.covered_examples_batch(clause_list, negatives)
+        return [
+            CoverageResult(len(pos), len(neg), pos)
+            for pos, neg in zip(covered_positives, covered_negatives)
+        ]
+
+    def run(self, batch: CoverageBatch) -> List[CoverageResult]:
+        """Evaluate a pre-assembled :class:`CoverageBatch`."""
+        return self.evaluate_batch(batch.clauses, batch.positives, batch.negatives)
+
+
 def make_coverage_engine(
     instance: DatabaseInstance,
     strategy: str = "subsumption",
     saturation_config: Optional[BottomClauseConfig] = None,
     threads: int = 1,
     backend: Optional[str] = None,
+    saturation_store: Optional[SaturationStore] = None,
 ):
     """Build a coverage engine, optionally re-materializing on another backend.
 
-    ``strategy`` selects subsumption (Castor/ProGolem) or query (join-based)
-    coverage; ``backend`` converts the instance first when it differs from
-    the instance's current backend (the ``--backend`` knob of the experiment
-    harness and benchmarks).
+    ``strategy`` selects subsumption (Castor/ProGolem, with
+    ``"subsumption-compiled"`` forcing the SQL saturation-store path and
+    ``"subsumption-python"`` forcing the pure-Python engine) or query
+    (join-based) coverage; ``backend`` converts the instance first when it
+    differs from the instance's current backend (the ``--backend`` knob of
+    the experiment harness and benchmarks).
     """
     if backend is not None and backend != instance.backend_name:
         instance = instance.with_backend(backend)
     if strategy == "subsumption":
-        return SubsumptionCoverageEngine(instance, saturation_config, threads=threads)
+        return SubsumptionCoverageEngine(
+            instance,
+            saturation_config,
+            threads=threads,
+            saturation_store=saturation_store,
+        )
+    if strategy == "subsumption-compiled":
+        return SubsumptionCoverageEngine(
+            instance,
+            saturation_config,
+            threads=threads,
+            compiled=True,
+            saturation_store=saturation_store,
+        )
+    if strategy == "subsumption-python":
+        return SubsumptionCoverageEngine(
+            instance, saturation_config, threads=threads, compiled=False
+        )
     if strategy == "query":
         return QueryCoverageEngine(instance)
     raise ValueError(
-        f"unknown coverage strategy {strategy!r}; expected 'subsumption' or 'query'"
+        f"unknown coverage strategy {strategy!r}; expected 'subsumption', "
+        "'subsumption-compiled', 'subsumption-python', or 'query'"
     )

@@ -24,7 +24,7 @@ from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
 from ..foil.gain import precision
 from ..learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
-from ..learning.coverage import SubsumptionCoverageEngine
+from ..learning.coverage import BatchCoverageEngine, SubsumptionCoverageEngine
 from ..learning.covering import CoveringLearner, CoveringParameters
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
@@ -33,7 +33,15 @@ from .armg import armg
 
 
 class ProGolemParameters:
-    """ProGolem's knobs (``sample``, ``beamwidth``, ``minprec`` in GILPS)."""
+    """ProGolem's knobs (``sample``, ``beamwidth``, ``minprec`` in GILPS).
+
+    ``parallelism`` bounds how many candidate clauses one generation's
+    scoring batch may evaluate concurrently (clause-level fan-out, distinct
+    from the coverage engine's per-example ``threads`` knob); results are
+    identical for every value.  ``max_seconds`` is the covering loop's soft
+    deadline: when it elapses, learning stops and the clauses accepted so
+    far are returned.
+    """
 
     def __init__(
         self,
@@ -45,6 +53,8 @@ class ProGolemParameters:
         max_armg_rounds: int = 10,
         bottom_clause: Optional[BottomClauseConfig] = None,
         seed: int = 0,
+        max_seconds: Optional[float] = None,
+        parallelism: int = 1,
     ):
         self.sample_size = int(sample_size)
         self.beam_width = int(beam_width)
@@ -54,6 +64,8 @@ class ProGolemParameters:
         self.max_armg_rounds = int(max_armg_rounds)
         self.bottom_clause = bottom_clause or BottomClauseConfig(max_depth=2)
         self.seed = int(seed)
+        self.max_seconds = max_seconds
+        self.parallelism = max(1, int(parallelism))
 
 
 class ProGolemClauseLearner:
@@ -72,6 +84,9 @@ class ProGolemClauseLearner:
         self.schema = schema
         self.parameters = parameters
         self.coverage = coverage
+        self.batch = BatchCoverageEngine(
+            coverage, parallelism=getattr(parameters, "parallelism", 1)
+        )
         self._rng = random.Random(parameters.seed)
 
     # ------------------------------------------------------------------ #
@@ -134,7 +149,11 @@ class ProGolemClauseLearner:
             sample = positives[:]
             self._rng.shuffle(sample)
             sample = sample[: self.parameters.sample_size]
-            new_candidates: List[HornClause] = []
+            # Generate the whole generation first, then score it as ONE batch:
+            # all candidates share the same example lists, so the coverage
+            # backend amortizes evaluation across them (and fans clauses out
+            # over its connection pool when parallelism > 1).
+            generation: List[HornClause] = []
             for clause in beam:
                 for example in sample:
                     if self.coverage.covers(clause, example):
@@ -142,15 +161,20 @@ class ProGolemClauseLearner:
                     candidate = self.generalize(clause, example)
                     if not candidate.body or not candidate.is_safe():
                         continue
-                    if self._score(candidate, positives, negatives) > best_score:
-                        new_candidates.append(candidate)
-            if not new_candidates:
+                    generation.append(candidate)
+            if not generation:
                 break
-            new_candidates.sort(
-                key=lambda c: self._score(c, positives, negatives), reverse=True
-            )
-            beam = new_candidates[: self.parameters.beam_width]
-            best_score = self._score(beam[0], positives, negatives)
+            results = self.batch.evaluate_batch(generation, positives, negatives)
+            scored = [
+                (result.coverage_score(), candidate)
+                for candidate, result in zip(generation, results)
+                if result.coverage_score() > best_score
+            ]
+            if not scored:
+                break
+            scored.sort(key=lambda entry: entry[0], reverse=True)
+            beam = [candidate for _, candidate in scored[: self.parameters.beam_width]]
+            best_score = scored[0][0]
 
         best = max(beam, key=lambda c: self._score(c, positives, negatives))
         reduced = self.reduce(best, instance, negatives)
@@ -180,10 +204,22 @@ class ProGolemLearner:
         schema: Schema,
         parameters: Optional[ProGolemParameters] = None,
         threads: int = 1,
+        parallelism: Optional[int] = None,
     ):
         self.schema = schema
         self.parameters = parameters or ProGolemParameters()
         self.threads = threads
+        if parallelism is not None:
+            self.parameters.parallelism = max(1, int(parallelism))
+
+    @property
+    def parallelism(self) -> int:
+        """Clause-level scoring fan-out (the experiment harness sets this)."""
+        return self.parameters.parallelism
+
+    @parallelism.setter
+    def parallelism(self, value: int) -> None:
+        self.parameters.parallelism = max(1, int(value))
 
     def make_coverage_engine(self, instance: DatabaseInstance) -> SubsumptionCoverageEngine:
         """Build the coverage engine (overridden by Castor to add IND awareness)."""
@@ -210,6 +246,8 @@ class ProGolemLearner:
                 min_precision=self.parameters.min_precision,
                 min_positives=self.parameters.min_positives,
                 max_clauses=self.parameters.max_clauses,
+                max_seconds=self.parameters.max_seconds,
+                parallelism=self.parameters.parallelism,
             ),
         )
         return covering.learn(instance, examples)

@@ -15,11 +15,11 @@ from repro.datasets import hiv, imdb, uwcse
 from repro.transform import ComposeOperation, DecomposeOperation, SchemaTransformation
 
 
-@pytest.fixture(params=["memory", "sqlite"])
+@pytest.fixture(params=["memory", "sqlite", "sqlite-pooled"])
 def backend(request) -> str:
     """Storage/evaluation backend under test; parametrizes the shared
     instance fixtures so every database/learning coverage test runs against
-    both the dict-indexed memory backend and the SQLite backend."""
+    the dict-indexed memory backend and both SQLite backends."""
     return request.param
 
 
