@@ -14,6 +14,8 @@ The package provides:
 * :mod:`repro.querybased` — query-based (MQ/EQ) learning and the A2 algorithm;
 * :mod:`repro.datasets` — synthetic UW-CSE, HIV, and IMDb datasets with the
   paper's schema variants;
+* :mod:`repro.distributed` — the sharded multi-process evaluation service
+  behind the ``"sqlite-sharded"`` backend (see ``docs/distributed.md``);
 * :mod:`repro.experiments` — drivers regenerating every table and figure of
   the paper's evaluation.
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..database.backend import configure_backend_sharding
 from ..database.constraints import InclusionDependency
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
@@ -92,9 +93,29 @@ class CastorCoverageEngine(SubsumptionCoverageEngine):
         schema: Schema,
         config: CastorBottomClauseConfig,
         threads: int = 1,
+        saturation_store=None,
     ):
-        super().__init__(instance, config, threads=threads)
+        super().__init__(
+            instance, config, threads=threads, saturation_store=saturation_store
+        )
+        self.working_schema = schema
         self.builder = CastorBottomClauseBuilder(instance, schema, config)
+
+    def shard_spec(self):
+        """Recipe for rebuilding this engine inside a shard worker.
+
+        Carries the working schema (the IND set the builder chases) and the
+        builder config, so worker-side saturations — and therefore coverage
+        decisions — are identical to the coordinator's.
+        """
+        if type(self) is not CastorCoverageEngine:
+            return None
+        return (
+            "castor",
+            self.working_schema,
+            self.builder.config,
+            self.compiled_enabled,
+        )
 
 
 class CastorClauseLearner(ProGolemClauseLearner):
@@ -174,18 +195,24 @@ class CastorLearner(ProGolemLearner):
         threads: int = 1,
         backend: Optional[str] = None,
         parallelism: Optional[int] = None,
+        shards: Optional[int] = None,
+        saturation_store=None,
     ):
         super().__init__(
             schema,
             parameters or CastorParameters(),
             threads=threads,
             parallelism=parallelism,
+            saturation_store=saturation_store,
         )
         self.parameters: CastorParameters = self.parameters
         self._working_schema: Optional[Schema] = None
         # Storage/evaluation backend the learner wants the instance on
         # (None = use the instance as given).
         self.backend = backend
+        # Worker count when the backend is sharded (None = backend default);
+        # like parallelism, shards never changes results, only wall-clock.
+        self.shards = shards
 
     # ------------------------------------------------------------------ #
     def working_schema_for(self, instance: DatabaseInstance) -> Schema:
@@ -217,7 +244,11 @@ class CastorLearner(ProGolemLearner):
             config = CastorBottomClauseConfig()
         config.use_subset_inds = self.parameters.use_subset_inds
         return CastorCoverageEngine(
-            instance, self._working_schema, config, threads=self.threads
+            instance,
+            self._working_schema,
+            config,
+            threads=self.threads,
+            saturation_store=self.saturation_store,
         )
 
     def make_clause_learner(
@@ -231,6 +262,7 @@ class CastorLearner(ProGolemLearner):
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
         if self.backend is not None and self.backend != instance.backend_name:
             instance = instance.with_backend(self.backend)
+        configure_backend_sharding(instance.backend, self.shards)
         definition = super().learn(instance, examples)
         if self.parameters.ensure_safe:
             safe_clauses = [clause for clause in definition if clause.is_safe()]

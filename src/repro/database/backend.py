@@ -11,7 +11,8 @@ substrate swappable:
   and may additionally expose *set-at-a-time* query evaluation (see
   :mod:`repro.database.sqlite_backend`);
 * a name registry so callers can select a backend with a plain string
-  (``"memory"``, ``"sqlite"``, or ``"sqlite-pooled"``), e.g.
+  (``"memory"``, ``"sqlite"``, ``"sqlite-pooled"``, or the multi-process
+  ``"sqlite-sharded"``), e.g.
   ``DatabaseInstance(schema, backend="sqlite")`` or an experiment-harness
   ``--backend`` knob.
 
@@ -21,11 +22,13 @@ The dict-based :class:`~repro.database.instance.RelationInstance` is the
 
 from __future__ import annotations
 
+import warnings
 from typing import (
     Callable,
     Dict,
     Iterable,
     Iterator,
+    Optional,
     Protocol,
     Sequence,
     Set,
@@ -159,6 +162,34 @@ def create_backend(backend: Union[str, Backend, None]) -> Backend:
     return factory()
 
 
+_SHARDING_WARNED: Set[str] = set()
+
+
+def configure_backend_sharding(backend: Backend, shards: Optional[int]) -> bool:
+    """Best-effort ``shards`` knob, shared by learners/harness/benchmarks.
+
+    Configures the worker count on backends that expose a sharded
+    evaluation service (``configure_sharding``).  An explicit ``shards`` on
+    a backend without one warns once per backend name — never silently
+    ignored, never an error (the knob only moves work, results are
+    identical).  Returns whether the setting was applied.
+    """
+    if shards is None:
+        return True
+    configure = getattr(backend, "configure_sharding", None)
+    if configure is None:
+        message = (
+            f"backend {getattr(backend, 'name', '?')!r} has no sharded "
+            f"evaluation service; ignoring shards={shards}"
+        )
+        if message not in _SHARDING_WARNED:
+            _SHARDING_WARNED.add(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+        return False
+    configure(shards=shards)
+    return True
+
+
 def _sqlite_factory() -> Backend:
     from .sqlite_backend import SQLiteBackend
 
@@ -171,6 +202,13 @@ def _sqlite_pooled_factory() -> Backend:
     return PooledSQLiteBackend()
 
 
+def _sqlite_sharded_factory() -> Backend:
+    from ..distributed.backend import ShardedSQLiteBackend
+
+    return ShardedSQLiteBackend()
+
+
 register_backend("memory", MemoryBackend)
 register_backend("sqlite", _sqlite_factory)
 register_backend("sqlite-pooled", _sqlite_pooled_factory)
+register_backend("sqlite-sharded", _sqlite_sharded_factory)

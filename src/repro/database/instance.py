@@ -156,6 +156,13 @@ class DatabaseInstance:
             relation.name: self.backend.make_relation(relation)
             for relation in schema.relations
         }
+        # Backends that replicate the instance elsewhere (the sharded
+        # evaluation service) need the full schema — constraints included,
+        # since saturation construction reads FDs/INDs — not just the
+        # per-relation schemas make_relation sees.
+        bind_schema = getattr(self.backend, "bind_instance_schema", None)
+        if bind_schema is not None:
+            bind_schema(schema)
 
     @property
     def backend_name(self) -> str:

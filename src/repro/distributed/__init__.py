@@ -1,0 +1,52 @@
+"""Sharded multi-process evaluation: the distributed tier of the backend stack.
+
+The paper's Castor leans on an in-memory RDBMS for parallel set-at-a-time
+evaluation; this package scales that same seam across *processes* (and,
+over the socket transport, across hosts).  See ``docs/distributed.md`` for
+the topology, the wire protocol, and the failure semantics.
+
+Public surface:
+
+* :class:`EvaluationService` — the coordinator (sticky sharding, fan-out,
+  bitset merge, worker lifecycle);
+* :class:`ShardedSQLiteBackend` — the ``"sqlite-sharded"`` registry backend;
+* :class:`ShardFailedError` / :class:`WorkerError` — failure surface;
+* :func:`partition_keys` / :class:`ShardAssigner` — sharding strategies;
+* the :mod:`~repro.distributed.protocol` framing and
+  :mod:`~repro.distributed.worker` entry points.
+"""
+
+from .backend import ShardedSQLiteBackend
+from .protocol import (
+    PipeTransport,
+    SocketTransport,
+    TransportError,
+    decode_frame,
+    encode_frame,
+)
+from .service import (
+    EvaluationService,
+    ShardFailedError,
+    WorkerError,
+    default_shard_count,
+)
+from .sharding import SHARDING_STRATEGIES, ShardAssigner, partition_keys, stable_hash
+from .worker import InstancePayload
+
+__all__ = [
+    "EvaluationService",
+    "InstancePayload",
+    "PipeTransport",
+    "SHARDING_STRATEGIES",
+    "ShardAssigner",
+    "ShardFailedError",
+    "ShardedSQLiteBackend",
+    "SocketTransport",
+    "TransportError",
+    "WorkerError",
+    "decode_frame",
+    "default_shard_count",
+    "encode_frame",
+    "partition_keys",
+    "stable_hash",
+]

@@ -1,0 +1,235 @@
+"""The ``sqlite-sharded`` backend: storage here, batched evaluation out there.
+
+:class:`ShardedSQLiteBackend` is a drop-in registry backend
+(``DatabaseInstance(schema, backend="sqlite-sharded")``): storage, single
+statement evaluation, and the snapshot read pool are inherited unchanged
+from :class:`~repro.database.sqlite_backend.PooledSQLiteBackend`.  What
+changes is *batched* coverage: the backend lazily owns an
+:class:`~repro.distributed.service.EvaluationService` and routes
+
+* ``covered_head_tuples_batch`` (query-based coverage of a candidate set)
+  through the service's ``query_batch`` path, and
+* subsumption batches (via
+  :class:`~repro.learning.coverage.BatchCoverageEngine`, which probes for
+  :meth:`coverage_service`) through the ``coverage_batch`` path,
+
+so a generation of candidate clauses is scored by N worker processes in
+parallel.  Results are invariant in the shard count, strategy, and
+parallelism, and match the other backends — with one narrow exception
+inherited from the compiled-vs-Python distinction: workers always decide
+subsumption with the exact SQL path (required for shard-count
+invariance), while in-process engines fall back to the backtrack-budgeted
+Python engine below ``COMPILED_MIN_EXAMPLES`` examples, so a
+budget-exhausting clause on a tiny batch can be decided exactly here but
+conservatively "uncovered" there (see ``docs/backends.md``).
+
+Mutations keep going to the primary connection; the service watches the
+backend's data-version token and reloads the workers before the next batch
+whenever relation contents changed.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..database.schema import Schema
+from ..database.sqlite_backend import PooledSQLiteBackend
+from ..logic.clauses import HornClause
+from .service import TRANSPORTS, EvaluationService, default_shard_count
+from .sharding import DEFAULT_STRATEGY, SHARDING_STRATEGIES
+from .worker import InstancePayload
+
+Row = Tuple[object, ...]
+
+
+def _close_service(service: EvaluationService) -> None:
+    service.close()
+
+
+class ShardedSQLiteBackend(PooledSQLiteBackend):
+    """Pooled SQLite storage plus a sharded multi-process evaluation service."""
+
+    name = "sqlite-sharded"
+
+    def __init__(
+        self,
+        connection=None,
+        pool_size: Optional[int] = None,
+        shards: Optional[int] = None,
+        strategy: str = DEFAULT_STRATEGY,
+        transport: str = "pipe",
+        worker_backend: str = "sqlite-pooled",
+        worker_pool_size: Optional[int] = None,
+    ):
+        super().__init__(connection, pool_size)
+        if shards is not None and int(shards) < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = int(shards) if shards is not None else default_shard_count()
+        self.strategy = str(strategy)
+        self.transport = str(transport)
+        self.worker_backend = str(worker_backend)
+        self.worker_pool_size = worker_pool_size
+        self._instance_schema: Optional[Schema] = None
+        self._service: Optional[EvaluationService] = None
+        self._service_finalizer = None
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def bind_instance_schema(self, schema: Schema) -> None:
+        """Hook called by :class:`~repro.database.instance.DatabaseInstance`.
+
+        Workers rebuild the instance from the payload, and saturation
+        construction reads schema constraints (theory-constant inference
+        looks at FDs/INDs), so the payload must carry the *real* schema —
+        not one reconstructed from bare relation schemas.
+        """
+        self._instance_schema = schema
+
+    def _payload(self) -> InstancePayload:
+        schema = self._instance_schema
+        if schema is None:
+            # Constraint-free fallback; sufficient for pure query evaluation.
+            schema = Schema(
+                [relation.schema for relation in self._relations.values()],
+                name="sharded-payload",
+            )
+        rows = {
+            name: list(relation.rows)
+            for name, relation in self._relations.items()
+        }
+        return InstancePayload(
+            schema,
+            rows,
+            backend=self.worker_backend,
+            pool_size=self.worker_pool_size,
+        )
+
+    def configure_sharding(
+        self,
+        shards: Optional[int] = None,
+        strategy: Optional[str] = None,
+        transport: Optional[str] = None,
+    ) -> None:
+        """Re-shape the service (harness/benchmark ``shards=`` knob).
+
+        When the requested topology differs from the current one, a running
+        service is shut down and respawned lazily on the next batch.
+        Re-applying the current settings is a no-op, so learners that call
+        this at the top of every ``learn()`` (e.g. one call per
+        cross-validation fold) keep their warm workers and saturation
+        stores instead of respawning the fleet each time.
+        """
+        # Validate everything before touching any state: a typo must not
+        # leave the config half-applied or tear down a warm fleet.
+        if shards is not None and int(shards) < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if strategy is not None and strategy not in SHARDING_STRATEGIES:
+            raise ValueError(
+                f"unknown sharding strategy {strategy!r}; "
+                f"available: {list(SHARDING_STRATEGIES)}"
+            )
+        if transport is not None and transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; available: {list(TRANSPORTS)}"
+            )
+        changed = False
+        if shards is not None:
+            changed |= self.shards != int(shards)
+            self.shards = int(shards)
+        if strategy is not None:
+            changed |= self.strategy != str(strategy)
+            self.strategy = str(strategy)
+        if transport is not None:
+            changed |= self.transport != str(transport)
+            self.transport = str(transport)
+        if changed and self._service is not None:
+            if self._service_finalizer is not None:
+                self._service_finalizer.detach()
+                self._service_finalizer = None
+            self._service.close()
+            self._service = None
+
+    def coverage_service(self) -> EvaluationService:
+        """The lazily-started evaluation service behind this backend."""
+        if self._service is None:
+            # The service must not hold the backend strongly: its callbacks
+            # sit in the finalizer registry (via the service), and a bound
+            # method would keep the backend reachable forever — the
+            # finalizer below could then never fire and every dropped
+            # instance would leak its worker fleet.
+            backend_ref = weakref.ref(self)
+
+            def payload_fn() -> InstancePayload:
+                backend = backend_ref()
+                if backend is None:
+                    raise RuntimeError(
+                        "sharded backend was garbage-collected mid-spawn"
+                    )
+                return backend._payload()
+
+            def state_token_fn() -> object:
+                backend = backend_ref()
+                return None if backend is None else backend._pool_state()
+
+            self._service = EvaluationService(
+                payload_fn,
+                shards=self.shards,
+                strategy=self.strategy,
+                transport=self.transport,
+                state_token_fn=state_token_fn,
+            )
+            # Workers must not outlive the backend (tests build many
+            # instances; daemonized processes still cost memory and pids).
+            self._service_finalizer = weakref.finalize(
+                self, _close_service, self._service
+            )
+        return self._service
+
+    def close(self) -> None:
+        """Shut down the service (and its workers) and the snapshot pool.
+
+        The primary connection stays open: relations remain readable, and a
+        later batch simply respawns the service/pool lazily.
+        """
+        if self._service_finalizer is not None:
+            self._service_finalizer.detach()
+            self._service_finalizer = None
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+        self.pool.close()
+
+    # ------------------------------------------------------------------ #
+    # Batched evaluation (probed by QueryEvaluator)
+    # ------------------------------------------------------------------ #
+    def covered_head_tuples_batch(
+        self,
+        clauses: Sequence[HornClause],
+        candidates: Sequence[Sequence[object]],
+        parallelism: Optional[int] = None,
+    ) -> List[Optional[Set[Row]]]:
+        """Fan the candidate axis of the batch across the shard workers.
+
+        Workers resolve non-compilable clauses locally (they own full
+        instances), so unlike the single-process backends this never returns
+        ``None`` fallback markers.
+        """
+        clause_list = list(clauses)
+        if len(clause_list) * len(candidates) == 0:
+            return [set() for _ in clause_list]
+        service = self.coverage_service()
+        covered = service.covered_candidates_batch(
+            clause_list, candidates, parallelism=max(1, int(parallelism or 1))
+        )
+        return list(covered)
+
+    def __repr__(self) -> str:
+        started = self._service is not None and self._service._started
+        return (
+            f"ShardedSQLiteBackend({len(self._relations)} relations, "
+            f"shards={self.shards}, strategy={self.strategy!r}, "
+            f"transport={self.transport!r}, "
+            f"service={'started' if started else 'cold'})"
+        )

@@ -1,0 +1,147 @@
+"""Length-prefixed pickle framing and the two shard transports.
+
+The evaluation service speaks one wire format everywhere: a message is a
+picklable Python object encoded as ``4-byte big-endian length || pickle
+bytes``.  Locally the frames travel over :mod:`multiprocessing` pipes
+(:class:`PipeTransport`); a worker may equally run out-of-process — even on
+another host — behind a TCP socket (:class:`SocketTransport`).  Both ends of
+either transport exchange ``(kind, payload)`` tuples; the codec is shared so
+a worker cannot tell which transport carried a request.
+
+Security note: frames are **pickle**, so the service must only ever be
+connected to trusted workers on trusted networks (the same trust model as
+``multiprocessing`` itself).  See ``docs/distributed.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Optional, Tuple
+
+#: Frame header: unsigned 32-bit big-endian payload length.
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames instead of attempting a multi-GiB allocation when a
+#: corrupt or hostile peer sends a bogus length header.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class TransportError(ConnectionError):
+    """The peer went away (closed pipe/socket, dead process, reset)."""
+
+
+def encode_frame(message: object) -> bytes:
+    """Serialize one message into a length-prefixed pickle frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> object:
+    """Inverse of :func:`encode_frame` (validates the embedded length)."""
+    if len(frame) < _HEADER.size:
+        raise TransportError(f"truncated frame: {len(frame)} bytes")
+    (length,) = _HEADER.unpack_from(frame)
+    body = frame[_HEADER.size :]
+    if length != len(body):
+        raise TransportError(
+            f"frame length header says {length} bytes, got {len(body)}"
+        )
+    return pickle.loads(body)
+
+
+class PipeTransport:
+    """Frames over a :mod:`multiprocessing` pipe connection.
+
+    The pipe already preserves message boundaries, so the frame travels as
+    one ``send_bytes`` payload; the embedded length prefix keeps the bytes
+    identical to what the socket transport would carry.
+    """
+
+    def __init__(self, connection):
+        self._connection = connection
+
+    def send(self, message: object) -> None:
+        try:
+            self._connection.send_bytes(encode_frame(message))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise TransportError(f"pipe send failed: {exc}") from exc
+
+    def recv(self) -> object:
+        try:
+            frame = self._connection.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise TransportError(f"pipe closed: {exc}") from exc
+        return decode_frame(frame)
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except OSError:
+            pass
+
+
+class SocketTransport:
+    """Frames over a stream socket (a worker on another host, or localhost)."""
+
+    def __init__(self, sock: socket.socket):
+        self._socket = sock
+        # Batch requests are single frames; latency beats throughput here.
+        try:
+            self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # e.g. AF_UNIX sockets
+
+    def send(self, message: object) -> None:
+        try:
+            self._socket.sendall(encode_frame(message))
+        except OSError as exc:
+            raise TransportError(f"socket send failed: {exc}") from exc
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._socket.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise TransportError(f"socket recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportError("socket closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> object:
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(f"frame of {length} bytes exceeds limit")
+        return decode_frame(header + self._recv_exact(length))
+
+    def close(self) -> None:
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` into a connectable pair."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host, int(port)
+
+
+def connect(address: str, timeout: Optional[float] = None) -> SocketTransport:
+    """Open a socket transport to a listening worker (``host:port``)."""
+    host, port = parse_address(address)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return SocketTransport(sock)

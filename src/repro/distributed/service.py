@@ -1,0 +1,561 @@
+"""The evaluation service: a coordinator fanning coverage batches over shards.
+
+:class:`EvaluationService` owns N worker processes (or remote workers), each
+holding a full copy of the database instance and a **sticky slice of the
+example set** (see :mod:`repro.distributed.sharding`).  A coverage batch —
+N candidate clauses against one example list — is split along the example
+axis: every shard tests all clauses against only its own examples, returns
+one bitset per clause, and the coordinator ORs the bitsets back together in
+input order.  Results are therefore invariant in the shard count, the
+sharding strategy, and the parallelism setting; those knobs only move work.
+
+Failure semantics (the lifecycle-hardening contract):
+
+* a worker that dies mid-batch (killed, OOMed, segfaulted) is **respawned
+  from its instance payload** and the in-flight shard request is retried
+  exactly once;
+* if the respawn or the retry fails too, :class:`ShardFailedError` surfaces
+  to the caller with the shard index and the underlying transport error;
+* an exception *inside* a healthy worker (a bug, not a crash) is
+  deterministic, so it is never retried — it surfaces as
+  :class:`WorkerError` carrying the remote traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .protocol import SocketTransport, PipeTransport, TransportError, connect
+from .sharding import DEFAULT_STRATEGY, ShardAssigner, SHARDING_STRATEGIES
+from .worker import (
+    SPEC_KINDS,
+    InstancePayload,
+    pipe_worker_main,
+    socket_worker_main,
+)
+
+Row = Tuple[object, ...]
+
+#: Transport selectors accepted by the service and the sharded backend.
+TRANSPORTS = ("pipe", "socket")
+
+
+class ShardFailedError(RuntimeError):
+    """A shard stayed down after one respawn-and-retry cycle."""
+
+    def __init__(self, shard: int, message: str):
+        super().__init__(f"shard {shard} failed and could not be recovered: {message}")
+        self.shard = shard
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a worker (deterministic; not retried)."""
+
+    def __init__(self, shard: int, kind: str, message: str, remote_traceback: str):
+        super().__init__(f"shard {shard} raised {kind}: {message}")
+        self.shard = shard
+        self.kind = kind
+        self.remote_traceback = remote_traceback
+
+
+def default_shard_count() -> int:
+    """Default worker count: one per core, capped (shards beyond the core
+    count only add IPC overhead for CPU-bound SQLite work)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class WorkerHandle:
+    """One shard's transport + (for local workers) its process."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.transport = None
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.remote_address: Optional[str] = None
+        self.lock = threading.Lock()
+        self.respawns = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def request(self, message: Tuple[str, object]) -> object:
+        """One request/reply round-trip; raises on transport or worker error."""
+        with self.lock:
+            if self.transport is None:
+                raise TransportError(f"shard {self.index} has no live transport")
+            self.transport.send(message)
+            reply = self.transport.recv()
+        status, payload = reply
+        if status == "ok":
+            return payload
+        kind, text, remote_traceback = payload
+        raise WorkerError(self.index, kind, text, remote_traceback)
+
+    def close_transport(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+            self.transport = None
+
+    def terminate(self) -> None:
+        self.close_transport()
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5)
+            self.process = None
+
+
+class EvaluationService:
+    """Coordinator for a fleet of shard workers.
+
+    Parameters
+    ----------
+    payload_fn:
+        Zero-argument callable producing the :class:`InstancePayload` workers
+        (re)build their database from.  Called at every spawn, respawn, and
+        reload, so it must reflect the *current* data.
+    shards:
+        Number of local workers (ignored for examples already pinned to
+        attached remote workers).
+    strategy:
+        Sharding strategy (``hash``/``round-robin``/``size-balanced``).
+    transport:
+        ``"pipe"`` (multiprocessing pipes) or ``"socket"`` (workers dial a
+        localhost TCP listener — the same codepath remote workers use).
+    state_token_fn:
+        Optional callable returning a cheap token of the source data's
+        version; when it changes between batches every worker is reloaded,
+        so mutations on the coordinator instance are always visible.
+    """
+
+    def __init__(
+        self,
+        payload_fn: Callable[[], InstancePayload],
+        shards: Optional[int] = None,
+        strategy: str = DEFAULT_STRATEGY,
+        transport: str = "pipe",
+        state_token_fn: Optional[Callable[[], object]] = None,
+    ):
+        if strategy not in SHARDING_STRATEGIES:
+            raise ValueError(
+                f"unknown sharding strategy {strategy!r}; "
+                f"available: {list(SHARDING_STRATEGIES)}"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; available: {list(TRANSPORTS)}"
+            )
+        self.payload_fn = payload_fn
+        self.shards = (
+            int(shards) if shards is not None else default_shard_count()
+        )
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        self.strategy = strategy
+        self.transport = transport
+        self._state_token_fn = state_token_fn
+        self._synced_token: object = None
+        # ``spawn`` keeps workers independent of coordinator threads and
+        # inherited SQLite state (fork + live threads is a deadlock lottery).
+        self._context = multiprocessing.get_context("spawn")
+        self._handles: List[WorkerHandle] = []
+        self._assigner: Optional[ShardAssigner] = None
+        self._listener: Optional[socket.socket] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self._lock = threading.Lock()
+        # Serializes process spawn + (for sockets) listener accept, so two
+        # shards respawning concurrently from fan-out threads can never
+        # cross-pair a handle with the other shard's worker process.
+        self._spawn_lock = threading.Lock()
+        self.batches_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "EvaluationService":
+        """Spawn the workers and ship them the instance payload.
+
+        Exception-safe: a spawn failure mid-fleet terminates the workers
+        already started and resets the service to cold, so a retried
+        ``start()`` begins from scratch instead of stacking a second fleet
+        on top of half of the first.
+        """
+        with self._lock:
+            if self._started:
+                return self
+            try:
+                if self.transport == "socket":
+                    self._listener = socket.socket(
+                        socket.AF_INET, socket.SOCK_STREAM
+                    )
+                    self._listener.bind(("127.0.0.1", 0))
+                    self._listener.listen(self.shards)
+                payload = self.payload_fn()
+                self._synced_token = (
+                    self._state_token_fn() if self._state_token_fn else None
+                )
+                for index in range(self.shards):
+                    handle = WorkerHandle(index)
+                    # Registered before spawning so the except block below
+                    # can terminate it even when the spawn half-completed.
+                    self._handles.append(handle)
+                    self._spawn_into(handle, payload)
+                self._assigner = ShardAssigner(len(self._handles), self.strategy)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=len(self._handles),
+                    thread_name_prefix="shard-coordinator",
+                )
+                self._started = True
+            except BaseException:
+                for handle in self._handles:
+                    handle.terminate()
+                self._handles.clear()
+                self._assigner = None
+                if self._listener is not None:
+                    self._listener.close()
+                    self._listener = None
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False)
+                    self._executor = None
+                raise
+        return self
+
+    def attach_remote(self, address: str, timeout: float = 10.0) -> int:
+        """Attach a pre-started remote worker (``python -m
+        repro.distributed.worker --serve HOST:PORT``) as an extra shard.
+
+        Must be called before the first batch (the sticky assigner is sized
+        at first use).  Returns the new shard's index.  A remote shard that
+        fails is *reconnected* (the coordinator cannot respawn a process on
+        another machine) and retried with the same once-only policy.
+        """
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("start() the service before attaching workers")
+            if self._assigner is not None and self._assigner._assignments:
+                raise RuntimeError(
+                    "cannot attach workers after examples have been sharded"
+                )
+            handle = WorkerHandle(len(self._handles))
+            handle.remote_address = address
+            handle.transport = connect(address, timeout=timeout)
+            self._init_worker(handle, self.payload_fn())
+            self._handles.append(handle)
+            self._assigner = ShardAssigner(len(self._handles), self.strategy)
+            self._executor.shutdown(wait=True)
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self._handles),
+                thread_name_prefix="shard-coordinator",
+            )
+            return handle.index
+
+    def close(self) -> None:
+        """Shut every worker down and release the coordinator resources.
+
+        Shutdown is fire-and-forget: waiting for an ack could block behind
+        a shard still grinding through an abandoned in-flight query (the
+        compiled path has no backtrack budget), and ``terminate()`` is the
+        backstop either way.  The started flag drops *before* the teardown
+        so a batch thread racing this close sees its transport die and
+        fails fast (``ShardFailedError``) instead of respawning an
+        untracked worker into a closed service.
+        """
+        with self._lock:
+            self._started = False
+            for handle in self._handles:
+                if handle.transport is not None and handle.lock.acquire(
+                    timeout=1.0
+                ):
+                    try:
+                        handle.transport.send(("shutdown", None))
+                    except (TransportError, OSError):
+                        pass
+                    finally:
+                        handle.lock.release()
+                handle.terminate()
+            self._handles.clear()
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+            self._started = False
+
+    def __enter__(self) -> "EvaluationService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Spawning / recovery
+    # ------------------------------------------------------------------ #
+    def _spawn_into(self, handle: WorkerHandle, payload: InstancePayload) -> None:
+        """(Re)create the local worker process behind ``handle``."""
+        with self._spawn_lock:
+            self._spawn_into_locked(handle, payload)
+
+    def _spawn_into_locked(
+        self, handle: WorkerHandle, payload: InstancePayload
+    ) -> None:
+        if self.transport == "pipe":
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=pipe_worker_main,
+                args=(child_conn,),
+                daemon=True,
+                name=f"repro-shard-{handle.index}",
+            )
+            process.start()
+            child_conn.close()
+            handle.transport = PipeTransport(parent_conn)
+        else:
+            host, port = self._listener.getsockname()
+            process = self._context.Process(
+                target=socket_worker_main,
+                args=(host, port),
+                daemon=True,
+                name=f"repro-shard-{handle.index}",
+            )
+            process.start()
+            self._listener.settimeout(30)
+            conn, _peer = self._listener.accept()
+            conn.settimeout(None)
+            handle.transport = SocketTransport(conn)
+        handle.process = process
+        self._init_worker(handle, payload)
+
+    def _init_worker(self, handle: WorkerHandle, payload: InstancePayload) -> None:
+        info = handle.request(("init", payload))
+        if not isinstance(info, dict) or "pid" not in info:
+            raise TransportError(f"shard {handle.index} failed to initialize")
+
+    def _respawn(self, handle: WorkerHandle) -> None:
+        """Bring a dead shard back from its snapshot payload."""
+        if not self._started:
+            raise TransportError(
+                f"service closed while shard {handle.index} was in flight"
+            )
+        handle.terminate()
+        handle.respawns += 1
+        payload = self.payload_fn()
+        if handle.remote_address is not None:
+            handle.transport = connect(handle.remote_address, timeout=10.0)
+            self._init_worker(handle, payload)
+        else:
+            self._spawn_into(handle, payload)
+
+    def _request_with_retry(
+        self, handle: WorkerHandle, message: Tuple[str, object]
+    ) -> object:
+        """One shard request with the respawn-once failure policy."""
+        try:
+            return handle.request(message)
+        except TransportError as first_error:
+            try:
+                self._respawn(handle)
+                return handle.request(message)
+            except (TransportError, OSError, EOFError) as exc:
+                raise ShardFailedError(handle.index, str(exc)) from first_error
+
+    # ------------------------------------------------------------------ #
+    # Data freshness
+    # ------------------------------------------------------------------ #
+    def _ensure_ready(self) -> None:
+        self.start()
+        if self._state_token_fn is None:
+            return
+        token = self._state_token_fn()
+        if token == self._synced_token:
+            return
+        payload = self.payload_fn()
+        for handle in self._handles:
+            try:
+                handle.request(("reload", payload))
+            except TransportError as first_error:
+                try:
+                    self._respawn(handle)
+                except (TransportError, OSError, EOFError) as exc:
+                    # Same failure surface as a batch request: shard loss
+                    # that survives the respawn becomes ShardFailedError.
+                    raise ShardFailedError(handle.index, str(exc)) from first_error
+        self._synced_token = token
+
+    # ------------------------------------------------------------------ #
+    # Batched coverage
+    # ------------------------------------------------------------------ #
+    def _worker_parallelism(self, parallelism: int) -> int:
+        """Per-worker thread fan-out for a caller-requested parallelism.
+
+        The shard processes already are the parallelism, so the requested
+        fan-out is divided across them — ``shards=4, parallelism=4`` runs 4
+        single-threaded workers, not 16 threads.  Never affects results.
+        """
+        return max(1, int(parallelism) // max(1, len(self._handles)))
+
+    def _fan_out(
+        self,
+        kind: str,
+        keys: Sequence[object],
+        items: Sequence[object],
+        payload_for: Callable[[List[object]], object],
+        clause_count: int,
+    ) -> List[List[int]]:
+        """Partition ``items`` by ``keys``, query every busy shard, and merge.
+
+        Returns, per clause, the list of *global* item indices covered —
+        assembled from the per-shard bitsets, so the caller reconstructs
+        results in input order regardless of shard count.
+        """
+        buckets = self._assigner.partition(keys)
+
+        def run_shard(shard: int) -> Tuple[int, List[int]]:
+            indices = buckets[shard]
+            slice_items = [items[i] for i in indices]
+            masks = self._request_with_retry(
+                self._handles[shard], (kind, payload_for(slice_items))
+            )
+            return shard, masks
+
+        busy = [s for s in range(len(buckets)) if buckets[s]]
+        if len(busy) <= 1:
+            shard_masks = [run_shard(s) for s in busy]
+        else:
+            shard_masks = list(self._executor.map(run_shard, busy))
+
+        covered_indices: List[List[int]] = [[] for _ in range(clause_count)]
+        for shard, masks in shard_masks:
+            indices = buckets[shard]
+            for clause_index, mask in enumerate(masks):
+                if not mask:
+                    continue
+                for j, global_index in enumerate(indices):
+                    if (mask >> j) & 1:
+                        covered_indices[clause_index].append(global_index)
+        for per_clause in covered_indices:
+            per_clause.sort()
+        self.batches_served += 1
+        return covered_indices
+
+    def covered_examples_batch(
+        self,
+        spec: Tuple[object, ...],
+        clauses: Sequence[object],
+        examples: Sequence[object],
+        parallelism: int = 1,
+    ) -> List[List[object]]:
+        """Covered example subsets for N clauses, in input order.
+
+        ``spec`` is a picklable engine recipe (``shard_spec()`` of a coverage
+        engine); each worker instantiates it once and keeps it — and its
+        saturation store — warm across batches and folds.
+        """
+        if not spec or spec[0] not in SPEC_KINDS:
+            raise ValueError(
+                f"unknown engine spec kind {spec[0] if spec else spec!r}; "
+                f"available: {list(SPEC_KINDS)}"
+            )
+        clause_list = list(clauses)
+        example_list = list(examples)
+        if not clause_list:
+            return []
+        if not example_list:
+            return [[] for _ in clause_list]
+        self._ensure_ready()
+        keys = [(e.target, e.values, e.positive) for e in example_list]
+        worker_parallelism = self._worker_parallelism(parallelism)
+        covered = self._fan_out(
+            "coverage_batch",
+            keys,
+            example_list,
+            lambda slice_items: (spec, clause_list, slice_items, worker_parallelism),
+            len(clause_list),
+        )
+        return [
+            [example_list[i] for i in indices] for indices in covered
+        ]
+
+    def covered_candidates_batch(
+        self,
+        clauses: Sequence[object],
+        candidates: Sequence[Sequence[object]],
+        parallelism: int = 1,
+    ) -> List[Set[Row]]:
+        """Query-based coverage of candidate head tuples, one set per clause.
+
+        Unlike subsumption coverage this fans out the **clause axis**: a
+        compiled query-coverage statement costs roughly the same however
+        many candidates sit in the temp table, so splitting the candidates
+        would make every shard pay the full per-clause compilation anyway.
+        Every worker holds the full instance, so any worker can answer any
+        clause against the whole candidate list; merging is just placing
+        each clause's bitset back at its input position.
+        """
+        clause_list = list(clauses)
+        candidate_list = [tuple(c) for c in candidates]
+        if not clause_list:
+            return []
+        if not candidate_list:
+            return [set() for _ in clause_list]
+        self._ensure_ready()
+
+        shard_count = min(len(self._handles), len(clause_list))
+        chunks: List[List[int]] = [[] for _ in range(shard_count)]
+        for index in range(len(clause_list)):
+            chunks[index % shard_count].append(index)
+        worker_parallelism = self._worker_parallelism(parallelism)
+
+        def run_shard(shard: int) -> Tuple[int, List[int]]:
+            sub_clauses = [clause_list[i] for i in chunks[shard]]
+            masks = self._request_with_retry(
+                self._handles[shard],
+                ("query_batch", (sub_clauses, candidate_list, worker_parallelism)),
+            )
+            return shard, masks
+
+        if shard_count <= 1:
+            shard_masks = [run_shard(0)]
+        else:
+            shard_masks = list(self._executor.map(run_shard, range(shard_count)))
+
+        results: List[Set[Row]] = [set() for _ in clause_list]
+        for shard, masks in shard_masks:
+            for mask, clause_index in zip(masks, chunks[shard]):
+                if not mask:
+                    continue
+                results[clause_index] = {
+                    candidate_list[j]
+                    for j in range(len(candidate_list))
+                    if (mask >> j) & 1
+                }
+        self.batches_served += 1
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def worker_pids(self) -> List[Optional[int]]:
+        return [handle.pid for handle in self._handles]
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-shard worker statistics (pid, engines, materialized saturations)."""
+        self._ensure_ready()
+        return [
+            self._request_with_retry(handle, ("stats", None))
+            for handle in self._handles
+        ]
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "cold"
+        return (
+            f"EvaluationService({self.shards} shards, {self.strategy!r}, "
+            f"{self.transport!r}, {state})"
+        )

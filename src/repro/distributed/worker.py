@@ -1,0 +1,304 @@
+"""The shard worker: one process owning one slice of the evaluation work.
+
+A worker receives an **instance payload** (schema + relation rows), rebuilds
+the database on its own SQLite-family backend (``sqlite-pooled`` by default,
+so intra-worker ``parallelism`` reuses the snapshot read-pool machinery),
+and then serves coverage requests until told to shut down.  Per-engine state
+— in particular each example's materialized saturation in the worker's
+:class:`~repro.database.sqlite_backend.SaturationStore` — lives as long as
+the process, so repeated batches (generations of a covering run, folds of a
+cross-validation) hit a warm store instead of rebuilding it.
+
+Requests and replies are ``(kind, payload)`` tuples over the length-prefixed
+pickle protocol (:mod:`repro.distributed.protocol`).  Replies are
+``("ok", result)`` or ``("error", (type, message, traceback))`` — the worker
+never lets an evaluation exception kill the process.  Coverage replies are
+**bitsets**: one integer per clause, bit ``j`` set when the clause covers
+the ``j``-th example/candidate of the request's shard-local slice.
+
+Entry points:
+
+* :func:`pipe_worker_main` — local worker on a multiprocessing pipe;
+* :func:`socket_worker_main` — local worker that dials back to the
+  coordinator's listener over TCP (same codepath a remote worker uses);
+* ``python -m repro.distributed.worker --serve HOST:PORT`` — a standalone
+  worker on another machine; the coordinator attaches to it with
+  :meth:`EvaluationService.attach_remote <repro.distributed.service.EvaluationService>`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .protocol import PipeTransport, SocketTransport, TransportError, parse_address
+
+Row = Tuple[object, ...]
+
+#: Engine-spec kinds a worker can instantiate (see ``shard_spec`` on the
+#: coverage engines).  Listed here so the service can validate early.
+SPEC_KINDS = ("query", "subsumption", "castor")
+
+
+class InstancePayload:
+    """Everything a worker needs to rebuild the database instance."""
+
+    __slots__ = ("schema", "rows", "backend", "pool_size")
+
+    def __init__(
+        self,
+        schema,
+        rows: Dict[str, List[Row]],
+        backend: str = "sqlite-pooled",
+        pool_size: Optional[int] = None,
+    ):
+        self.schema = schema
+        self.rows = rows
+        self.backend = str(backend)
+        self.pool_size = pool_size
+
+    def __repr__(self) -> str:
+        tuples = sum(len(r) for r in self.rows.values())
+        return f"InstancePayload({len(self.rows)} relations, {tuples} tuples)"
+
+
+class WorkerState:
+    """Dispatch table plus the long-lived instance/engine state of one worker."""
+
+    def __init__(self) -> None:
+        self.instance = None
+        self._engines: Dict[bytes, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instance / engines
+    # ------------------------------------------------------------------ #
+    def _rebuild(self, payload: InstancePayload) -> None:
+        from ..database.backend import create_backend
+        from ..database.instance import DatabaseInstance
+
+        backend = create_backend(payload.backend)
+        if payload.pool_size is not None and hasattr(backend, "pool_size"):
+            backend.pool_size = max(1, int(payload.pool_size))
+        self.instance = DatabaseInstance(payload.schema, backend=backend)
+        for name, rows in payload.rows.items():
+            self.instance.add_tuples(name, rows)
+        # Engines (and their saturation stores) describe the old data.
+        self._engines.clear()
+
+    def _engine_for(self, spec: Tuple[object, ...]):
+        """Build (or fetch the cached) coverage engine for an engine spec.
+
+        The cache key is the spec's pickle, so every learner run with the
+        same configuration — e.g. consecutive cross-validation folds — lands
+        on the same engine and its already-materialized saturation store.
+        """
+        key = pickle.dumps(spec)
+        engine = self._engines.get(key)
+        if engine is not None:
+            return engine
+        if self.instance is None:
+            raise RuntimeError("worker received a batch before init")
+        kind = spec[0]
+        if kind == "query":
+            from ..learning.coverage import QueryCoverageEngine
+
+            engine = QueryCoverageEngine(self.instance)
+        elif kind == "subsumption":
+            from ..learning.coverage import SubsumptionCoverageEngine
+
+            _, config, compiled = spec
+            engine = SubsumptionCoverageEngine(
+                self.instance, config, compiled=bool(compiled)
+            )
+        elif kind == "castor":
+            from ..castor.castor import CastorCoverageEngine
+
+            _, schema, config, compiled = spec
+            engine = CastorCoverageEngine(self.instance, schema, config)
+            engine.compiled_enabled = bool(compiled)
+        else:
+            raise ValueError(f"unknown engine spec kind {kind!r}")
+        if hasattr(engine, "COMPILED_MIN_EXAMPLES"):
+            # Shard-count invariance: the engine's "compiled pays off only
+            # above N examples" heuristic must not pick a different decision
+            # procedure (exact SQL vs backtrack-budgeted Python) depending
+            # on how large this worker's slice happens to be.
+            engine.COMPILED_MIN_EXAMPLES = 1
+        self._engines[key] = engine
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+    def handle_init(self, payload: InstancePayload) -> Dict[str, object]:
+        self._rebuild(payload)
+        return {"pid": os.getpid(), "tuples": self.instance.total_tuples()}
+
+    handle_reload = handle_init
+
+    def handle_ping(self, _payload) -> str:
+        return "pong"
+
+    def handle_stats(self, _payload) -> Dict[str, object]:
+        stats: Dict[str, object] = {
+            "pid": os.getpid(),
+            "engines": len(self._engines),
+            "tuples": self.instance.total_tuples() if self.instance else 0,
+        }
+        saturations = 0
+        for engine in self._engines.values():
+            store = getattr(engine, "_compiled_store", None)
+            if store is not None:
+                saturations += len(store)
+        stats["materialized_saturations"] = saturations
+        return stats
+
+    def handle_coverage_batch(self, payload) -> List[int]:
+        """Subsumption/query coverage of N clauses over this shard's examples."""
+        spec, clauses, examples, parallelism = payload
+        engine = self._engine_for(spec)
+        covered_lists = engine.covered_examples_batch(
+            clauses, examples, parallelism=max(1, int(parallelism))
+        )
+        masks: List[int] = []
+        for covered in covered_lists:
+            covered_set = set(covered)
+            mask = 0
+            for j, example in enumerate(examples):
+                if example in covered_set:
+                    mask |= 1 << j
+            masks.append(mask)
+        return masks
+
+    def handle_query_batch(self, payload) -> List[int]:
+        """Set-at-a-time query coverage of candidate head tuples.
+
+        The worker owns the full instance, so clauses the SQLite compiler
+        rejects fall back to the tuple-at-a-time join *locally* — the
+        coordinator always gets a definitive bitset back.
+        """
+        from ..database.query import QueryEvaluator
+
+        clauses, candidates, parallelism = payload
+        if self.instance is None:
+            raise RuntimeError("worker received a batch before init")
+        evaluator = QueryEvaluator(self.instance)
+        covered_sets = evaluator.covered_tuples_batch(
+            clauses, candidates, parallelism=max(1, int(parallelism))
+        )
+        masks: List[int] = []
+        for covered in covered_sets:
+            mask = 0
+            for j, candidate in enumerate(candidates):
+                if tuple(candidate) in covered:
+                    mask |= 1 << j
+            masks.append(mask)
+        return masks
+
+
+def serve_loop(transport) -> None:
+    """Answer requests on one transport until shutdown or peer loss."""
+    state = WorkerState()
+    while True:
+        try:
+            message = transport.recv()
+        except TransportError:
+            break  # coordinator went away; nothing left to serve
+        kind, payload = message
+        if kind == "shutdown":
+            try:
+                transport.send(("ok", None))
+            except TransportError:
+                pass
+            break
+        if kind == "crash":
+            # Test hook for the lifecycle-hardening suite: die like a worker
+            # hit by the OOM killer — no reply, no cleanup.
+            os._exit(13)
+        handler = getattr(state, f"handle_{kind}", None)
+        try:
+            if handler is None:
+                raise ValueError(f"unknown request kind {kind!r}")
+            reply = ("ok", handler(payload))
+        except Exception as exc:  # noqa: BLE001 - forwarded to the coordinator
+            reply = (
+                "error",
+                (type(exc).__name__, str(exc), traceback.format_exc()),
+            )
+        try:
+            transport.send(reply)
+        except TransportError:
+            break
+
+
+def pipe_worker_main(connection) -> None:
+    """Process target for a pipe-transport worker."""
+    transport = PipeTransport(connection)
+    try:
+        serve_loop(transport)
+    finally:
+        transport.close()
+
+
+def socket_worker_main(host: str, port: int) -> None:
+    """Process target for a socket-transport worker: dial the coordinator."""
+    sock = socket.create_connection((host, port))
+    transport = SocketTransport(sock)
+    try:
+        serve_loop(transport)
+    finally:
+        transport.close()
+
+
+def serve(address: str, max_sessions: Optional[int] = None) -> None:
+    """Run a standalone worker listening on ``host:port`` (remote topology).
+
+    Accepts one coordinator at a time and serves it until it disconnects;
+    then (unless ``max_sessions`` is exhausted) goes back to accepting, so a
+    long-lived remote worker survives coordinator restarts.
+    """
+    host, port = parse_address(address)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(1)
+    print(f"repro shard worker pid={os.getpid()} listening on "
+          f"{listener.getsockname()[0]}:{listener.getsockname()[1]}", flush=True)
+    sessions = 0
+    try:
+        while max_sessions is None or sessions < max_sessions:
+            conn, _peer = listener.accept()
+            transport = SocketTransport(conn)
+            try:
+                serve_loop(transport)
+            finally:
+                transport.close()
+            sessions += 1
+    finally:
+        listener.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="standalone shard worker for the repro evaluation service"
+    )
+    parser.add_argument(
+        "--serve", metavar="HOST:PORT", required=True,
+        help="listen for a coordinator on this address",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="exit after serving this many coordinator sessions (default: forever)",
+    )
+    args = parser.parse_args(argv)
+    serve(args.serve, max_sessions=args.max_sessions)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

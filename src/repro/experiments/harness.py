@@ -15,9 +15,13 @@ from __future__ import annotations
 
 import statistics
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from ..database.backend import configure_backend_sharding
+from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
+from ..database.sqlite_backend import SaturationStore
 from ..datasets.base import DatasetBundle
 from ..learning.evaluation import CrossValidationReport, cross_validate, evaluate_definition
 from ..learning.examples import ExampleSet
@@ -41,15 +45,63 @@ class LearnerSpec:
         return f"LearnerSpec({self.name!r})"
 
 
+# Best-effort knobs stay best-effort (the harness drives heterogeneous
+# learner line-ups), but silently ignoring an explicit setting hides typos
+# and wasted configuration — say so once per distinct situation.
+_warned_knobs: Set[str] = set()
+
+
+def _warn_once(message: str) -> None:
+    if message in _warned_knobs:
+        return
+    _warned_knobs.add(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def _apply_parallelism(learner: object, parallelism: Optional[int]) -> object:
     """Set the clause-scoring fan-out on learners that expose the knob.
 
     Learners without a ``parallelism`` attribute (e.g. Golem/Progol) are
-    returned unchanged — the knob is best-effort by design so the harness
-    can drive heterogeneous learner line-ups.
+    returned unchanged; the first time that happens for a learner class the
+    harness warns, so an explicitly requested fan-out is never ignored
+    silently.
     """
-    if parallelism is not None and hasattr(learner, "parallelism"):
+    if parallelism is None:
+        return learner
+    if hasattr(learner, "parallelism"):
         learner.parallelism = parallelism
+    else:
+        _warn_once(
+            f"learner {type(learner).__name__} has no 'parallelism' knob; "
+            f"ignoring parallelism={parallelism}"
+        )
+    return learner
+
+
+def _apply_shards(instance: DatabaseInstance, shards: Optional[int]) -> None:
+    """Set the worker count on instances whose backend is sharded.
+
+    Mirrors :func:`_apply_parallelism`: best-effort, but an explicit
+    ``shards=`` on a backend without a sharded evaluation service warns
+    once instead of vanishing.  One shared probe
+    (:func:`~repro.database.backend.configure_backend_sharding`) backs the
+    harness, the learners, and the benchmarks, so the behavior is uniform.
+    """
+    configure_backend_sharding(instance.backend, shards)
+
+
+def _apply_saturation_store(
+    learner: object, store_supplier: Optional[Callable[[], SaturationStore]]
+) -> object:
+    """Hand learners that support it a shared saturation store.
+
+    Used to keep one warm store across cross-validation folds over the same
+    instance.  The store is supplied lazily so no SQLite connection is ever
+    opened for learners without the knob (FOIL's query coverage has no
+    saturations).
+    """
+    if store_supplier is not None and hasattr(learner, "saturation_store"):
+        learner.saturation_store = store_supplier()
     return learner
 
 
@@ -102,22 +154,40 @@ def run_variant(
     seed: int = 0,
     backend: Optional[str] = None,
     parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
+    reuse_saturation_store: bool = True,
 ) -> VariantResult:
     """Cross-validate one learner on one schema variant of the dataset.
 
     ``backend`` selects the storage/evaluation backend the instance is
-    materialized on (``memory``/``sqlite``/``sqlite-pooled``); ``None``
-    keeps the bundle's own.  ``parallelism`` sets the clause-scoring fan-out
-    on learners that support it (results are identical for every value; only
-    wall-clock time changes).
+    materialized on (``memory``/``sqlite``/``sqlite-pooled``/
+    ``sqlite-sharded``); ``None`` keeps the bundle's own.  ``parallelism``
+    sets the clause-scoring fan-out on learners that support it and
+    ``shards`` the worker count on sharded backends (results are identical
+    for every value of either; only wall-clock time changes).  With
+    ``reuse_saturation_store`` (default), learners with compiled subsumption
+    coverage share one warm :class:`SaturationStore` across the folds of
+    this variant instead of materializing saturations per fold — fold
+    results are identical either way (saturations of one example on one
+    instance do not depend on the fold split).
     """
     schema = bundle.schema(variant_name)
     instance = bundle.instance(variant_name)
     if backend is not None and backend != instance.backend_name:
         instance = instance.with_backend(backend)
+    _apply_shards(instance, shards)
+    shared: List[SaturationStore] = []
+
+    def store_supplier() -> SaturationStore:
+        if not shared:
+            shared.append(SaturationStore())
+        return shared[0]
 
     def factory() -> object:
-        return _apply_parallelism(learner_spec.build(schema), parallelism)
+        learner = _apply_parallelism(learner_spec.build(schema), parallelism)
+        return _apply_saturation_store(
+            learner, store_supplier if reuse_saturation_store else None
+        )
 
     if folds <= 1:
         learner = factory()
@@ -159,6 +229,8 @@ def run_schema_sweep(
     seed: int = 0,
     backend: Optional[str] = None,
     parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
+    reuse_saturation_store: bool = True,
 ) -> List[VariantResult]:
     """Run every learner on every schema variant (one of the paper's tables)."""
     variants = list(variants or bundle.variant_names)
@@ -177,6 +249,8 @@ def run_schema_sweep(
                     folds,
                     seed,
                     parallelism=parallelism,
+                    shards=shards,
+                    reuse_saturation_store=reuse_saturation_store,
                 )
             )
     return results
@@ -224,6 +298,7 @@ def check_schema_independence(
     seed: int = 0,
     backend: Optional[str] = None,
     parallelism: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> SchemaIndependenceReport:
     """Learn on every variant with the full training data and compare outputs.
 
@@ -239,6 +314,7 @@ def check_schema_independence(
     for variant_name in variants:
         schema = bundle.schema(variant_name)
         instance = bundle.instance(variant_name)
+        _apply_shards(instance, shards)
         learner = _apply_parallelism(learner_spec.build(schema), parallelism)
         definition = learner.learn(instance, bundle.examples)
         definitions[variant_name] = definition

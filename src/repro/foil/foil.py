@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..database.backend import configure_backend_sharding
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
 from ..learning.coverage import BatchCoverageEngine, QueryCoverageEngine
@@ -197,12 +198,16 @@ class FoilLearner:
         parameters: Optional[FoilParameters] = None,
         backend: Optional[str] = None,
         parallelism: Optional[int] = None,
+        shards: Optional[int] = None,
     ):
         self.schema = schema
         self.parameters = parameters or FoilParameters()
         # Storage/evaluation backend the learner wants the instance on
         # (None = use the instance as given).
         self.backend = backend
+        # Worker count when the backend is sharded (None = backend default);
+        # like parallelism, shards never changes results, only wall-clock.
+        self.shards = shards
         if parallelism is not None:
             self.parameters.parallelism = max(1, int(parallelism))
 
@@ -219,6 +224,7 @@ class FoilLearner:
         """Learn a Horn definition of the examples' target relation."""
         if self.backend is not None and self.backend != instance.backend_name:
             instance = instance.with_backend(self.backend)
+        configure_backend_sharding(instance.backend, self.shards)
         coverage = QueryCoverageEngine(instance)
         clause_learner = _FoilClauseLearner(self.schema, self.parameters, coverage)
         covering = CoveringLearner(

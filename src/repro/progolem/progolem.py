@@ -205,10 +205,15 @@ class ProGolemLearner:
         parameters: Optional[ProGolemParameters] = None,
         threads: int = 1,
         parallelism: Optional[int] = None,
+        saturation_store=None,
     ):
         self.schema = schema
         self.parameters = parameters or ProGolemParameters()
         self.threads = threads
+        # Optional shared SaturationStore for the compiled coverage path;
+        # the harness sets this so cross-validation folds over one instance
+        # reuse materialized saturations instead of rebuilding them per fold.
+        self.saturation_store = saturation_store
         if parallelism is not None:
             self.parameters.parallelism = max(1, int(parallelism))
 
@@ -224,7 +229,10 @@ class ProGolemLearner:
     def make_coverage_engine(self, instance: DatabaseInstance) -> SubsumptionCoverageEngine:
         """Build the coverage engine (overridden by Castor to add IND awareness)."""
         return SubsumptionCoverageEngine(
-            instance, self.parameters.bottom_clause, threads=self.threads
+            instance,
+            self.parameters.bottom_clause,
+            threads=self.threads,
+            saturation_store=self.saturation_store,
         )
 
     def make_clause_learner(

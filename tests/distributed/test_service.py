@@ -1,0 +1,186 @@
+"""Lifecycle and failure-semantics tests for the evaluation service.
+
+These spawn real worker processes (spawn context), so workloads are tiny.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.distributed import (
+    EvaluationService,
+    ShardFailedError,
+    TransportError,
+    WorkerError,
+)
+from repro.learning.coverage import BatchCoverageEngine, QueryCoverageEngine
+
+from .conftest import make_payload_fn
+
+
+SPEC_QUERY = ("query",)
+
+
+def batch_values(service, clauses, examples, parallelism=1):
+    covered = service.covered_examples_batch(
+        SPEC_QUERY, clauses, examples, parallelism=parallelism
+    )
+    return [tuple(e.values for e in per_clause) for per_clause in covered]
+
+
+def reference_values(instance, clauses, examples):
+    batch = BatchCoverageEngine(QueryCoverageEngine(instance))
+    return [
+        tuple(e.values for e in per_clause)
+        for per_clause in batch.covered_examples_batch(clauses, examples)
+    ]
+
+
+def test_pipe_service_matches_in_process_results(small_uwcse, pipe_service):
+    _bundle, instance, examples, clauses = small_uwcse
+    assert batch_values(pipe_service, clauses, examples) == reference_values(
+        instance, clauses, examples
+    )
+
+
+def test_killed_worker_is_respawned_and_batch_retried(small_uwcse, pipe_service):
+    """Satellite: a shard dying mid-flight is respawned from its snapshot
+    and the batch is transparently retried once."""
+    _bundle, instance, examples, clauses = small_uwcse
+    expected = reference_values(instance, clauses, examples)
+    assert batch_values(pipe_service, clauses, examples) == expected
+
+    victim_pid = pipe_service.worker_pids()[0]
+    os.kill(victim_pid, signal.SIGKILL)
+    # Wait for the process to actually die so the next request hits the
+    # broken transport rather than a half-dead worker.
+    for _ in range(100):
+        if not pipe_service._handles[0].process.is_alive():
+            break
+        time.sleep(0.05)
+
+    assert batch_values(pipe_service, clauses, examples) == expected
+    assert pipe_service._handles[0].respawns == 1
+    assert pipe_service.worker_pids()[0] != victim_pid
+
+
+def test_shard_failed_error_when_respawn_cannot_recover(
+    small_uwcse, pipe_service, monkeypatch
+):
+    """Satellite: after the one respawn-and-retry cycle fails, a clear
+    ShardFailedError surfaces (no infinite retry loops)."""
+    _bundle, _instance, examples, clauses = small_uwcse
+    batch_values(pipe_service, clauses, examples)  # shards warmed up
+
+    def broken_respawn(handle):
+        handle.respawns += 1
+        raise TransportError("simulated unrecoverable shard host")
+
+    monkeypatch.setattr(pipe_service, "_respawn", broken_respawn)
+    os.kill(pipe_service.worker_pids()[1], signal.SIGKILL)
+    time.sleep(0.2)
+    with pytest.raises(ShardFailedError) as excinfo:
+        batch_values(pipe_service, clauses, examples)
+    assert excinfo.value.shard == 1
+    assert "shard 1" in str(excinfo.value)
+
+
+def test_unknown_spec_kind_is_rejected_at_the_coordinator(
+    small_uwcse, pipe_service
+):
+    """Spec validation happens before any payload is shipped to a shard."""
+    _bundle, _instance, examples, clauses = small_uwcse
+    with pytest.raises(ValueError, match="no-such-engine-kind"):
+        pipe_service.covered_examples_batch(
+            ("no-such-engine-kind",), clauses, examples
+        )
+
+
+def test_worker_exception_surfaces_as_worker_error_without_retry(
+    small_uwcse, pipe_service
+):
+    _bundle, instance, examples, clauses = small_uwcse
+    # A valid spec kind whose config explodes only inside the worker when
+    # the engine first builds a saturation (deterministic, not a crash).
+    bad_spec = ("subsumption", 42, False)
+    with pytest.raises(WorkerError) as excinfo:
+        pipe_service.covered_examples_batch(bad_spec, clauses, examples)
+    assert excinfo.value.kind == "AttributeError"
+    assert excinfo.value.shard in (0, 1)
+    # Deterministic worker errors must not burn the respawn budget …
+    assert all(h.respawns == 0 for h in pipe_service._handles)
+    # … and the workers stay healthy for the next request.
+    assert batch_values(pipe_service, clauses, examples) == reference_values(
+        instance, clauses, examples
+    )
+
+
+def test_socket_transport_matches_pipe_results(small_uwcse):
+    _bundle, instance, examples, clauses = small_uwcse
+    service = EvaluationService(
+        make_payload_fn(instance), shards=2, transport="socket"
+    )
+    with service:
+        assert batch_values(service, clauses, examples) == reference_values(
+            instance, clauses, examples
+        )
+
+
+def test_mutations_are_visible_after_worker_reload(simple_schema):
+    """The staleness token reloads workers when the source data changes."""
+    from repro.database.instance import DatabaseInstance
+    from repro.learning.examples import ExampleSet
+    from repro.logic.parser import parse_clause
+
+    instance = DatabaseInstance(simple_schema, backend="sqlite")
+    instance.add_tuples("r1", [("a1", "b1"), ("a2", "b2")])
+    instance.add_tuples("r2", [("a1", "c1")])
+    clause = parse_clause("t(x) :- r2(x, y).")
+    examples = ExampleSet("t", positives=[("a1",), ("a2",)]).all_examples()
+
+    backend = instance.backend
+    service = EvaluationService(
+        make_payload_fn(instance),
+        shards=2,
+        state_token_fn=lambda: backend._data_version,
+    )
+    with service:
+        before = batch_values(service, [clause], examples)
+        assert before == [(("a1",),)]
+        instance.add_tuple("r2", ("a2", "c9"))
+        after = batch_values(service, [clause], examples)
+        assert after == [(("a1",), ("a2",))]
+
+
+def test_remote_serve_worker_can_be_attached(small_uwcse, tmp_path):
+    """A standalone ``--serve`` worker on another "host" joins the fleet."""
+    _bundle, instance, examples, clauses = small_uwcse
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.distributed.worker",
+         "--serve", "127.0.0.1:0", "--max-sessions", "1"],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        address = banner.strip().rsplit("listening on ", 1)[1]
+        service = EvaluationService(make_payload_fn(instance), shards=1)
+        with service:
+            remote_index = service.attach_remote(address)
+            assert remote_index == 1
+            assert batch_values(service, clauses, examples) == reference_values(
+                instance, clauses, examples
+            )
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)

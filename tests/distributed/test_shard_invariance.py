@@ -1,0 +1,141 @@
+"""Shard-count and parallelism invariance of the ``sqlite-sharded`` backend.
+
+The acceptance property: coverage results are **byte-identical** for every
+``shards`` x ``parallelism`` combination, and identical to the
+single-process backends — sharding only moves work, never answers.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.distributed import SHARDING_STRATEGIES
+from repro.learning.coverage import (
+    BatchCoverageEngine,
+    QueryCoverageEngine,
+    SubsumptionCoverageEngine,
+)
+
+
+def result_bytes(batch_lists):
+    """Canonical serialized form of a batch result, for byte-level equality."""
+    return pickle.dumps(
+        [tuple(e.values for e in per_clause) for per_clause in batch_lists]
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(small_uwcse):
+    """Reference results plus one sharded instance per shard count."""
+    _bundle, instance, examples, clauses = small_uwcse
+    reference = {
+        "query": result_bytes(
+            BatchCoverageEngine(
+                QueryCoverageEngine(instance)
+            ).covered_examples_batch(clauses, examples)
+        ),
+        "subsumption": result_bytes(
+            BatchCoverageEngine(
+                SubsumptionCoverageEngine(instance)
+            ).covered_examples_batch(clauses, examples)
+        ),
+    }
+    sharded = {}
+    for shards in (1, 2, 4):
+        converted = instance.with_backend("sqlite-sharded")
+        converted.backend.configure_sharding(shards=shards)
+        sharded[shards] = converted
+    yield reference, sharded, examples, clauses
+    for converted in sharded.values():
+        converted.backend.close()
+
+
+@pytest.mark.parametrize("parallelism", [1, 4])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_query_coverage_is_shard_and_parallelism_invariant(
+    workload, shards, parallelism
+):
+    reference, sharded, examples, clauses = workload
+    engine = BatchCoverageEngine(
+        QueryCoverageEngine(sharded[shards]), parallelism=parallelism
+    )
+    got = engine.covered_examples_batch(clauses, examples)
+    assert result_bytes(got) == reference["query"]
+
+
+@pytest.mark.parametrize("parallelism", [1, 4])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_subsumption_coverage_is_shard_and_parallelism_invariant(
+    workload, shards, parallelism
+):
+    reference, sharded, examples, clauses = workload
+    engine = BatchCoverageEngine(
+        SubsumptionCoverageEngine(sharded[shards]), parallelism=parallelism
+    )
+    got = engine.covered_examples_batch(clauses, examples)
+    assert result_bytes(got) == reference["subsumption"]
+
+
+@pytest.mark.parametrize("strategy", SHARDING_STRATEGIES)
+def test_every_sharding_strategy_gives_identical_results(workload, strategy):
+    reference, sharded, examples, clauses = workload
+    instance = sharded[2]
+    instance.backend.configure_sharding(strategy=strategy)
+    got = BatchCoverageEngine(
+        SubsumptionCoverageEngine(instance)
+    ).covered_examples_batch(clauses, examples)
+    assert result_bytes(got) == reference["subsumption"]
+
+
+def test_sharded_backend_is_registry_selectable(small_uwcse):
+    """"sqlite-sharded" resolves purely through the backend registry."""
+    from repro.database.backend import backend_names, create_backend
+
+    assert "sqlite-sharded" in backend_names()
+    backend = create_backend("sqlite-sharded")
+    assert backend.name == "sqlite-sharded"
+    assert backend.supports_compiled_queries
+    backend.close()
+
+
+def test_reapplying_current_sharding_config_keeps_workers_warm(small_uwcse):
+    """configure_sharding with unchanged settings must not respawn the
+    fleet — learners re-apply their shards= at the top of every learn()."""
+    _bundle, instance, examples, clauses = small_uwcse
+    converted = instance.with_backend("sqlite-sharded")
+    try:
+        converted.backend.configure_sharding(shards=2)
+        engine = BatchCoverageEngine(SubsumptionCoverageEngine(converted))
+        engine.covered_examples_batch(clauses[:2], examples)
+        pids = converted.backend.coverage_service().worker_pids()
+        converted.backend.configure_sharding(shards=2)  # same settings
+        assert converted.backend.coverage_service().worker_pids() == pids
+        converted.backend.configure_sharding(shards=1)  # changed: restart
+        engine.covered_examples_batch(clauses[:2], examples)
+        assert converted.backend.coverage_service().worker_pids() != pids
+    finally:
+        converted.backend.close()
+
+
+def test_dropped_backend_releases_its_workers(small_uwcse):
+    """A garbage-collected sharded instance must not leak its fleet: the
+    finalizer has to be able to fire (no strong service->backend cycle)."""
+    import gc
+    import weakref
+
+    _bundle, instance, examples, clauses = small_uwcse
+    converted = instance.with_backend("sqlite-sharded")
+    converted.backend.configure_sharding(shards=1)
+    BatchCoverageEngine(QueryCoverageEngine(converted)).covered_examples_batch(
+        clauses[:1], examples
+    )
+    service = converted.backend.coverage_service()
+    assert service._started
+    backend_ref = weakref.ref(converted.backend)
+    del converted
+    gc.collect()
+    assert backend_ref() is None, "service callbacks pinned the backend"
+    assert not service._started, "finalizer did not close the service"
+    assert service.worker_pids() == []

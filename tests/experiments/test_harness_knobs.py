@@ -1,0 +1,210 @@
+"""Harness knobs: warn-once best-effort settings, shards=, and
+cross-validation saturation-store reuse."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.database import DatabaseInstance, RelationSchema, Schema
+from repro.datasets import uwcse
+from repro.experiments.harness import (
+    LearnerSpec,
+    _apply_parallelism,
+    _apply_shards,
+    check_schema_independence,
+    run_variant,
+)
+from repro.progolem.progolem import ProGolemLearner, ProGolemParameters
+from repro.learning.bottom_clause import BottomClauseConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle():
+    return uwcse.load(
+        uwcse.UwCseConfig(num_students=10, num_professors=3, num_courses=5), seed=5
+    )
+
+
+def progolem_spec() -> LearnerSpec:
+    def factory(schema):
+        return ProGolemLearner(
+            schema,
+            ProGolemParameters(
+                sample_size=2,
+                beam_width=2,
+                max_armg_rounds=2,
+                max_clauses=4,
+                bottom_clause=BottomClauseConfig(max_depth=2, max_total_literals=20),
+            ),
+        )
+
+    return LearnerSpec("ProGolem", factory)
+
+
+# --------------------------------------------------------------------- #
+# Warn-once semantics
+# --------------------------------------------------------------------- #
+class KnoblessLearnerAlpha:
+    pass
+
+
+class KnoblessLearnerBeta:
+    pass
+
+
+def test_apply_parallelism_warns_once_per_situation():
+    with pytest.warns(RuntimeWarning, match="KnoblessLearnerAlpha.*parallelism=3"):
+        _apply_parallelism(KnoblessLearnerAlpha(), 3)
+    # Same learner class again: silent (already reported).
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _apply_parallelism(KnoblessLearnerAlpha(), 3)
+    # A different situation still warns.
+    with pytest.warns(RuntimeWarning, match="KnoblessLearnerBeta"):
+        _apply_parallelism(KnoblessLearnerBeta(), 3)
+
+
+def test_apply_parallelism_still_sets_the_knob():
+    learner = ProGolemLearner(Schema([RelationSchema("r", ["a"])], name="s"))
+    assert _apply_parallelism(learner, 5) is learner
+    assert learner.parallelism == 5
+    # parallelism=None is "unset", never a warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _apply_parallelism(KnoblessLearnerAlpha(), None)
+
+
+def test_apply_shards_warns_once_on_unsharded_backends():
+    schema = Schema([RelationSchema("r", ["a", "b"])], name="warnme")
+    instance = DatabaseInstance(schema)  # memory backend: no shard service
+    with pytest.warns(RuntimeWarning, match="'memory'.*shards=2"):
+        _apply_shards(instance, 2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _apply_shards(instance, 2)  # second time: silent
+        _apply_shards(instance, None)  # unset: silent
+
+
+def test_learners_accept_saturation_store_kwarg():
+    """Both bottom-up learners take saturation_store= at construction."""
+    from repro.castor.castor import CastorLearner
+    from repro.database.sqlite_backend import SaturationStore
+
+    schema = Schema([RelationSchema("r", ["a"])], name="s")
+    store = SaturationStore()
+    assert CastorLearner(schema, saturation_store=store).saturation_store is store
+    assert ProGolemLearner(schema, saturation_store=store).saturation_store is store
+
+
+def test_apply_shards_configures_sharded_backends():
+    schema = Schema([RelationSchema("r", ["a", "b"])], name="shardme")
+    instance = DatabaseInstance(schema, backend="sqlite-sharded")
+    _apply_shards(instance, 3)
+    assert instance.backend.shards == 3
+    instance.backend.close()
+
+
+# --------------------------------------------------------------------- #
+# shards= threaded through the harness entry points
+# --------------------------------------------------------------------- #
+def test_run_variant_on_sharded_backend(tiny_bundle):
+    variant = tiny_bundle.variant_names[0]
+    baseline = run_variant(
+        tiny_bundle, variant, progolem_spec(), folds=2, backend="sqlite"
+    )
+    sharded = run_variant(
+        tiny_bundle,
+        variant,
+        progolem_spec(),
+        folds=2,
+        backend="sqlite-sharded",
+        shards=2,
+        parallelism=2,
+    )
+    assert sharded.precision == baseline.precision
+    assert sharded.recall == baseline.recall
+    assert sharded.f1 == baseline.f1
+
+
+def test_check_schema_independence_accepts_shards(tiny_bundle):
+    variants = tiny_bundle.variant_names[:2]
+    baseline = check_schema_independence(
+        tiny_bundle, progolem_spec(), variants=variants, backend="sqlite"
+    )
+    sharded = check_schema_independence(
+        tiny_bundle,
+        progolem_spec(),
+        variants=variants,
+        backend="sqlite-sharded",
+        shards=2,
+    )
+    assert sharded.result_sizes == baseline.result_sizes
+    assert sharded.pairwise_equivalent == baseline.pairwise_equivalent
+
+
+# --------------------------------------------------------------------- #
+# Saturation-store reuse across folds
+# --------------------------------------------------------------------- #
+def as_key(result):
+    definition = result.definition
+    clauses = sorted(str(c) for c in definition) if definition else []
+    return (
+        round(result.precision, 9),
+        round(result.recall, 9),
+        round(result.f1, 9),
+        result.folds,
+        clauses,
+    )
+
+
+def test_fold_results_identical_with_and_without_store_reuse(tiny_bundle):
+    """Satellite: reusing one SaturationStore across folds changes timing
+    only — metrics and learned definitions are identical."""
+    variant = tiny_bundle.variant_names[0]
+    fresh = run_variant(
+        tiny_bundle,
+        variant,
+        progolem_spec(),
+        folds=3,
+        backend="sqlite",
+        reuse_saturation_store=False,
+    )
+    reused = run_variant(
+        tiny_bundle,
+        variant,
+        progolem_spec(),
+        folds=3,
+        backend="sqlite",
+        reuse_saturation_store=True,
+    )
+    assert as_key(fresh) == as_key(reused)
+
+
+def test_store_is_shared_across_fold_learners(tiny_bundle):
+    """The factory hands every fold learner the same store object."""
+    from repro.database.sqlite_backend import SaturationStore
+
+    spec = progolem_spec()
+    seen = []
+    original_factory = spec.factory
+
+    def spying_factory(schema_arg):
+        learner = original_factory(schema_arg)
+        seen.append(learner)
+        return learner
+
+    spec.factory = spying_factory
+    run_variant(
+        tiny_bundle,
+        tiny_bundle.variant_names[0],
+        spec,
+        folds=2,
+        backend="sqlite",
+        reuse_saturation_store=True,
+    )
+    stores = {id(learner.saturation_store) for learner in seen}
+    assert len(seen) >= 2, "cross-validation should build one learner per fold"
+    assert len(stores) == 1
+    assert isinstance(seen[0].saturation_store, SaturationStore)
