@@ -17,16 +17,13 @@ clause depth or length).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..database.constraints import InclusionDependency
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
-from ..learning.bottom_clause import BottomClauseConfig, compute_theory_constants
-from ..learning.examples import Example
+from ..learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
 from ..logic.atoms import Atom
-from ..logic.clauses import HornClause
-from ..logic.terms import Constant, Term, Variable
 
 
 class CastorBottomClauseConfig(BottomClauseConfig):
@@ -57,12 +54,15 @@ class CastorBottomClauseConfig(BottomClauseConfig):
         self.use_subset_inds = bool(use_subset_inds)
 
 
-class CastorBottomClauseBuilder:
+class CastorBottomClauseBuilder(BottomClauseBuilder):
     """Construct IND-aware bottom clauses and saturations.
 
     The builder pre-computes, per relation, the list of INDs to chase (those
     of the relation's inclusion class), so the per-example construction only
-    performs indexed lookups.
+    performs indexed lookups.  Frontier expansion (including level-synchronous
+    batch construction over whole example generations) is inherited from the
+    standard builder; the IND chase rides the same indexed seam through
+    ``tuples_matching``.
     """
 
     def __init__(
@@ -70,15 +70,43 @@ class CastorBottomClauseBuilder:
         instance: DatabaseInstance,
         schema: Optional[Schema] = None,
         config: Optional[CastorBottomClauseConfig] = None,
+        use_compiled_lookups: Optional[bool] = None,
+        theory_constants: Optional[Set[object]] = None,
     ):
-        self.instance = instance
+        # The working schema must be bound before the base constructor runs
+        # theory-constant inference (which consults its FDs/INDs).
         self.schema = schema or instance.schema
-        self.config = config or CastorBottomClauseConfig()
-        self.theory_constants = compute_theory_constants(
-            instance, getattr(self.config, "theory_constant_threshold", 12), self.schema
+        super().__init__(
+            instance,
+            config or CastorBottomClauseConfig(),
+            use_compiled_lookups=use_compiled_lookups,
+            theory_constants=theory_constants,
         )
         self._inds_by_relation: Dict[str, List[InclusionDependency]] = {}
+        # Compiled per-relation chase plan: (other relation, own positions,
+        # other positions) per IND, resolved once per schema instead of per
+        # chased tuple (part of the "stored procedure" compilation step).
+        self._chase_plan: Dict[str, List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]]] = {}
         self._prepare_inclusion_metadata()
+
+    def _theory_schema(self) -> Schema:
+        return self.schema
+
+    def saturation_spec(self) -> Optional[Tuple[object, ...]]:
+        """Picklable recipe a shard worker rebuilds this builder from.
+
+        Carries the working schema (the IND set the chase follows) and this
+        builder's theory constants next to the config, so worker-side
+        clauses are identical to in-process ones.
+        """
+        if type(self) is not CastorBottomClauseBuilder:
+            return None
+        return (
+            "castor-bottom",
+            self.schema,
+            self.config,
+            frozenset(self.theory_constants),
+        )
 
     # ------------------------------------------------------------------ #
     # Metadata preparation (the "stored procedure" compilation step)
@@ -96,107 +124,57 @@ class CastorBottomClauseBuilder:
         """INDs Castor chases when a tuple of ``relation`` enters the clause."""
         return self._inds_by_relation.get(relation, [])
 
-    # ------------------------------------------------------------------ #
-    # Public API
-    # ------------------------------------------------------------------ #
-    def build(self, example: Example) -> HornClause:
-        """Variablized IND-aware bottom clause for ``example``."""
-        return self._construct(example, variablize=True)
-
-    def build_ground(self, example: Example) -> HornClause:
-        """Ground IND-aware bottom clause (saturation) for ``example``."""
-        return self._construct(example, variablize=False)
-
-    # ------------------------------------------------------------------ #
-    # Construction
-    # ------------------------------------------------------------------ #
-    def _construct(self, example: Example, variablize: bool) -> HornClause:
-        variable_of: Dict[object, Variable] = {}
-        example_values = set(example.values)
-
-        def term_for(value: object) -> Term:
-            # Example values are always variablized so the clause generalizes
-            # over the target's arguments; other theory constants stay ground.
-            if not variablize or (
-                value in self.theory_constants and value not in example_values
-            ):
-                return Constant(value)
-            existing = variable_of.get(value)
-            if existing is None:
-                existing = Variable(f"v{len(variable_of)}")
-                variable_of[value] = existing
-            return existing
-
-        head = Atom(example.target, [term_for(v) for v in example.values])
-        body: List[Atom] = []
-        seen_rows: Set[Tuple[str, Tuple[object, ...]]] = set()
-        known_constants: Set[object] = set(example.values)
-        frontier: Set[object] = set(example.values)
-        depth = 0
-
-        while frontier:
-            if self.config.max_depth is not None and depth >= self.config.max_depth:
-                break
-            if self._variable_budget_reached(variable_of, known_constants, variablize):
-                break
-            next_frontier: Set[object] = set()
-            for constant in sorted(frontier, key=str):
-                per_relation_counts: Dict[str, int] = {}
-                for relation_name, row in sorted(
-                    self.instance.tuples_containing(constant),
-                    key=lambda pair: (pair[0], tuple(map(str, pair[1]))),
-                ):
-                    if len(body) >= self.config.max_total_literals:
-                        break
-                    if (relation_name, row) in seen_rows:
-                        continue
-                    count = per_relation_counts.get(relation_name, 0)
-                    if count >= self.config.max_literals_per_relation_per_tuple:
-                        continue
-                    per_relation_counts[relation_name] = count + 1
-                    self._add_tuple_with_ind_chase(
-                        relation_name,
-                        row,
-                        body,
-                        seen_rows,
-                        known_constants,
-                        next_frontier,
-                        term_for,
+    def _chase_plan_for(
+        self, relation: str
+    ) -> List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]]:
+        """Resolved join positions for every IND chased from ``relation``."""
+        plan = self._chase_plan.get(relation)
+        if plan is None:
+            relation_schema = self.schema.relation(relation)
+            plan = []
+            for ind in self.inds_for(relation):
+                other_name, own_attrs, other_attrs = ind.other_side(relation)
+                plan.append(
+                    (
+                        other_name,
+                        tuple(relation_schema.positions_of(own_attrs)),
+                        tuple(self.schema.relation(other_name).positions_of(other_attrs)),
                     )
-                if len(body) >= self.config.max_total_literals:
-                    break
-            frontier = next_frontier
-            depth += 1
+                )
+            self._chase_plan[relation] = plan
+        return plan
 
-        return HornClause(head, body)
-
-    def _add_tuple_with_ind_chase(
+    # ------------------------------------------------------------------ #
+    # Construction hook: one admitted tuple plus its inclusion-class chase
+    # ------------------------------------------------------------------ #
+    def _add_neighbor(
         self,
+        state,
         relation_name: str,
         row: Tuple[object, ...],
-        body: List[Atom],
-        seen_rows: Set[Tuple[str, Tuple[object, ...]]],
-        known_constants: Set[object],
         next_frontier: Set[object],
-        term_for,
     ) -> None:
         """Add one tuple's literal and chase the INDs of its inclusion class."""
         pending: List[Tuple[str, Tuple[object, ...]]] = [(relation_name, row)]
         while pending:
             current_relation, current_row = pending.pop(0)
             key = (current_relation, current_row)
-            if key in seen_rows:
+            if key in state.seen_rows:
                 continue
-            if len(body) >= self.config.max_total_literals:
+            if len(state.body) >= self.config.max_total_literals:
                 return
-            seen_rows.add(key)
-            body.append(Atom(current_relation, [term_for(v) for v in current_row]))
+            state.seen_rows.add(key)
+            state.body.append(
+                Atom(current_relation, [self._term_for(state, v) for v in current_row])
+            )
             for value in current_row:
-                if value not in known_constants:
-                    known_constants.add(value)
+                if value not in state.known_constants:
+                    state.known_constants.add(value)
                     next_frontier.add(value)
             pending.extend(
-                self._joining_tuples(current_relation, current_row, seen_rows)
+                self._joining_tuples(
+                    current_relation, current_row, state.seen_rows, state.join_cache
+                )
             )
 
     def _joining_tuples(
@@ -204,22 +182,30 @@ class CastorBottomClauseBuilder:
         relation_name: str,
         row: Tuple[object, ...],
         seen_rows: Set[Tuple[str, Tuple[object, ...]]],
+        join_cache: Optional[Dict[object, List[Tuple[object, ...]]]] = None,
     ) -> List[Tuple[str, Tuple[object, ...]]]:
-        """Tuples of sibling relations that join with ``row`` through the class INDs."""
+        """Tuples of sibling relations that join with ``row`` through the class INDs.
+
+        The underlying index lookups are pure functions of the database, so
+        a batch-scoped ``join_cache`` (shared by every example of one
+        construction call) deduplicates them across the generation; the
+        per-call ``seen_rows`` filter stays outside the cache.
+        """
         joining: List[Tuple[str, Tuple[object, ...]]] = []
-        relation_schema = self.schema.relation(relation_name)
-        for ind in self.inds_for(relation_name):
-            other_name, own_attrs, other_attrs = ind.other_side(relation_name)
-            own_positions = relation_schema.positions_of(own_attrs)
-            other_schema = self.schema.relation(other_name)
-            other_positions = other_schema.positions_of(other_attrs)
-            bindings = {
-                other_positions[i]: row[own_positions[i]] for i in range(len(own_positions))
-            }
-            other_instance = self.instance.relation(other_name)
-            matches = sorted(
-                other_instance.tuples_matching(bindings), key=lambda r: tuple(map(str, r))
-            )
+        for other_name, own_positions, other_positions in self._chase_plan_for(
+            relation_name
+        ):
+            key_values = tuple(row[p] for p in own_positions)
+            cache_key = (other_name, other_positions, key_values)
+            matches = None if join_cache is None else join_cache.get(cache_key)
+            if matches is None:
+                bindings = dict(zip(other_positions, key_values))
+                matches = sorted(
+                    self.instance.relation(other_name).tuples_matching(bindings),
+                    key=lambda r: tuple(map(str, r)),
+                )
+                if join_cache is not None:
+                    join_cache[cache_key] = matches
             added = 0
             for match in matches:
                 if (other_name, match) in seen_rows:
@@ -229,15 +215,3 @@ class CastorBottomClauseBuilder:
                 if added >= self.config.max_joining_tuples_per_ind:
                     break
         return joining
-
-    def _variable_budget_reached(
-        self,
-        variable_of: Dict[object, Variable],
-        known_constants: Set[object],
-        variablize: bool,
-    ) -> bool:
-        budget = self.config.max_distinct_variables
-        if budget is None:
-            return False
-        count = len(variable_of) if variablize else len(known_constants)
-        return count >= budget

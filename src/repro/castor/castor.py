@@ -95,11 +95,16 @@ class CastorCoverageEngine(SubsumptionCoverageEngine):
         threads: int = 1,
         saturation_store=None,
     ):
+        # Bound before super().__init__, whose _make_builder call reads it.
+        self.working_schema = schema
         super().__init__(
             instance, config, threads=threads, saturation_store=saturation_store
         )
-        self.working_schema = schema
-        self.builder = CastorBottomClauseBuilder(instance, schema, config)
+
+    def _make_builder(self, instance: DatabaseInstance, saturation_config):
+        return CastorBottomClauseBuilder(
+            instance, self.working_schema, saturation_config
+        )
 
     def shard_spec(self):
         """Recipe for rebuilding this engine inside a shard worker.

@@ -104,26 +104,102 @@ class Backend(Protocol):
     (``satisfiable``, ``count_bindings``, ``head_tuples``,
     ``covered_head_tuples``, ``iter_bindings``).  Backends without the flag
     are evaluated through the generic tuple-at-a-time backtracking join.
+
+    A backend may also support *saturation queries* — the frontier expansion
+    step of bottom-clause construction — by setting
+    ``supports_saturation_queries = True`` and providing
+    ``neighbors_of_batch(values)``, which answers "which tuples (of any
+    relation) mention any of these values" for one whole frontier in a
+    single set-at-a-time call (the stored-procedure analogue of Section
+    7.5.2).  Backends without the capability are served by the generic
+    per-relation loop in
+    :meth:`~repro.database.instance.DatabaseInstance.neighbors_of_batch`.
     """
 
     name: str
     supports_compiled_queries: bool
+    supports_saturation_queries: bool
 
     def make_relation(self, schema: RelationSchema) -> RelationBackend:
         """Create the (empty) store for one relation of the instance."""
         ...
 
+    def neighbors_of_batch(
+        self, values: Sequence[object]
+    ) -> Dict[object, list]:
+        """``value -> [(relation name, tuple)]`` for every requested value.
+
+        Only meaningful when ``supports_saturation_queries``; the lists
+        contain every tuple mentioning the value in any column, in no
+        particular order (callers that need determinism sort).
+        """
+        ...
+
 
 class MemoryBackend:
-    """The default backend: hash-indexed Python sets (one per relation)."""
+    """The default backend: hash-indexed Python sets (one per relation).
+
+    On top of the per-relation indexes the backend maintains one
+    *cross-relation* ``value -> {(relation, tuple)}`` index, kept current by
+    the relation stores' mutation callbacks, so a saturation frontier lookup
+    is a single dict hit per value instead of a scan over all relations.
+    """
 
     name = "memory"
     supports_compiled_queries = False
+    supports_saturation_queries = True
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, "RelationBackend"] = {}
+        self._by_value: Dict[object, Set[Tuple[str, Row]]] = {}
+        self._bound = False
+
+    def bind_instance_schema(self, schema) -> None:
+        """Hook called by :class:`~repro.database.instance.DatabaseInstance`
+        once its relations exist.  The backend is stateful now (the
+        cross-relation index), so a second instance must not share it —
+        even with disjoint relation names, its tuples would leak into the
+        first instance's value index."""
+        del schema
+        if self._bound:
+            raise ValueError(
+                "a MemoryBackend object serves exactly one DatabaseInstance"
+            )
+        self._bound = True
 
     def make_relation(self, schema: RelationSchema) -> RelationBackend:
         from .instance import RelationInstance
 
-        return RelationInstance(schema)
+        if self._bound or schema.name in self._relations:
+            raise ValueError(
+                f"cannot add relation {schema.name!r}: a MemoryBackend "
+                "object serves exactly one DatabaseInstance"
+            )
+        name = schema.name
+
+        def on_change(row: Row, added: bool) -> None:
+            for value in set(row):
+                entries = self._by_value.setdefault(value, set())
+                if added:
+                    entries.add((name, row))
+                else:
+                    entries.discard((name, row))
+                    if not entries:
+                        del self._by_value[value]
+
+        relation = RelationInstance(schema, on_change=on_change)
+        self._relations[name] = relation
+        return relation
+
+    def neighbors_of(self, value: object) -> list:
+        """All ``(relation, tuple)`` pairs mentioning ``value`` — one dict hit."""
+        return list(self._by_value.get(value, ()))
+
+    def neighbors_of_batch(
+        self, values: Sequence[object]
+    ) -> Dict[object, list]:
+        """Frontier expansion from the cross-relation index (no relation scan)."""
+        return {value: list(self._by_value.get(value, ())) for value in values}
 
 
 BackendFactory = Callable[[], Backend]

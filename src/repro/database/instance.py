@@ -14,7 +14,19 @@ storage/evaluation engine with the same interface.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .backend import Backend, RelationBackend, create_backend
 from .constraints import FunctionalDependency, InclusionDependency
@@ -35,11 +47,20 @@ class RelationInstance:
     * ``(position, value) -> tuples`` index: used by joins and IND walks.
     """
 
-    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[object]] = ()):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[object]] = (),
+        on_change: Optional[Callable[[Row, bool], None]] = None,
+    ):
         self.schema = schema
         self._rows: Set[Row] = set()
         self._by_value: Dict[object, Set[Row]] = {}
         self._by_position_value: Dict[Tuple[int, object], Set[Row]] = {}
+        # Invoked as ``on_change(row, added)`` after every effective insert or
+        # delete; the memory backend uses it to maintain its cross-relation
+        # value index (the saturation-frontier capability).
+        self._on_change = on_change
         for row in rows:
             self.add(row)
 
@@ -60,6 +81,8 @@ class RelationInstance:
         for position, value in enumerate(row_tuple):
             self._by_value.setdefault(value, set()).add(row_tuple)
             self._by_position_value.setdefault((position, value), set()).add(row_tuple)
+        if self._on_change is not None:
+            self._on_change(row_tuple, True)
 
     def add_all(self, rows: Iterable[Sequence[object]]) -> None:
         for row in rows:
@@ -74,6 +97,8 @@ class RelationInstance:
         for position, value in enumerate(row_tuple):
             self._by_value.get(value, set()).discard(row_tuple)
             self._by_position_value.get((position, value), set()).discard(row_tuple)
+        if self._on_change is not None:
+            self._on_change(row_tuple, False)
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -194,12 +219,36 @@ class DatabaseInstance:
         return sum(len(instance) for instance in self._relations.values())
 
     def tuples_containing(self, value: object) -> List[Tuple[str, Row]]:
-        """All (relation name, tuple) pairs where the tuple mentions ``value``."""
+        """All (relation name, tuple) pairs where the tuple mentions ``value``.
+
+        Backends exposing a cheap single-value neighbor hook (the memory
+        backend's cross-relation value index) answer in one dict hit;
+        otherwise every relation's per-relation index is consulted.
+        """
+        neighbors = getattr(self.backend, "neighbors_of", None)
+        if neighbors is not None:
+            return neighbors(value)
         found: List[Tuple[str, Row]] = []
         for name, instance in self._relations.items():
             for row in instance.tuples_containing(value):
                 found.append((name, row))
         return found
+
+    def neighbors_of_batch(
+        self, values: Sequence[object]
+    ) -> Dict[object, List[Tuple[str, Row]]]:
+        """``value -> [(relation, tuple)]`` for a whole saturation frontier.
+
+        This is the set-at-a-time frontier expansion bottom-clause
+        construction is built on: backends with the saturation capability
+        (``supports_saturation_queries``) answer the entire batch natively —
+        the SQLite family runs one statement per relation over a temp
+        frontier-values table, the memory backend reads its cross-relation
+        index — and other backends fall back to per-value lookups.
+        """
+        if getattr(self.backend, "supports_saturation_queries", False):
+            return self.backend.neighbors_of_batch(values)
+        return {value: self.tuples_containing(value) for value in values}
 
     # ------------------------------------------------------------------ #
     # Constraint checking

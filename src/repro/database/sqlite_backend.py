@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from typing import (
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     List,
@@ -122,7 +123,9 @@ class SQLiteRelation:
         self,
         schema: RelationSchema,
         connection: sqlite3.Connection,
-        on_mutation: Optional[Callable[[], None]] = None,
+        on_mutation: Optional[
+            Callable[[Optional[Tuple[str, str, Tuple[Row, ...]]]], None]
+        ] = None,
     ):
         if schema.arity == 0:
             raise ValueError(
@@ -158,9 +161,12 @@ class SQLiteRelation:
             )
         return row_tuple
 
-    def _mutated(self) -> None:
+    def _mutated(self, change: Optional[Tuple[str, str, Tuple[Row, ...]]] = None) -> None:
+        # ``change`` is ``(op, relation, rows)`` with op in {"add", "remove"};
+        # backends that ship incremental worker reloads log it (see
+        # ShardedSQLiteBackend), everyone else just bumps the data version.
         if self._on_mutation is not None:
-            self._on_mutation()
+            self._on_mutation(change)
 
     def add(self, row: Sequence[object]) -> None:
         """Insert a tuple; silently ignores exact duplicates."""
@@ -171,7 +177,7 @@ class SQLiteRelation:
             values,
         )
         if cursor.rowcount != 0:
-            self._mutated()
+            self._mutated(("add", self.schema.name, (values,)))
 
     def add_all(self, rows: Iterable[Sequence[object]]) -> None:
         prepared = [
@@ -182,7 +188,9 @@ class SQLiteRelation:
             prepared,
         )
         if cursor.rowcount != 0:
-            self._mutated()
+            # Duplicates that were ignored still appear in the change record;
+            # re-adding them on a diff reload is idempotent.
+            self._mutated(("add", self.schema.name, tuple(prepared)))
 
     def remove(self, row: Sequence[object]) -> None:
         """Delete a tuple; raises KeyError if absent."""
@@ -196,7 +204,7 @@ class SQLiteRelation:
                 f"DELETE FROM {self._table} WHERE {self._all_match}", values
             )
             if cursor.rowcount > 0:
-                self._mutated()
+                self._mutated(("remove", self.schema.name, (values,)))
                 return
         raise KeyError(f"tuple {row_tuple!r} not in relation {self.schema.name!r}")
 
@@ -458,6 +466,7 @@ class SQLiteBackend:
 
     name = "sqlite"
     supports_compiled_queries = True
+    supports_saturation_queries = True
 
     def __init__(self, connection: Optional[sqlite3.Connection] = None):
         if connection is None:
@@ -474,11 +483,19 @@ class SQLiteBackend:
         self._connection.execute("PRAGMA temp_store = MEMORY")
         self._relations: Dict[str, SQLiteRelation] = {}
         self._temp_ids = itertools.count(1)
+        # One reusable frontier-values temp table for saturation queries
+        # (created lazily); the lock serializes its refill when batched
+        # construction fans out over threads.
+        self._frontier_table: Optional[str] = None
+        self._frontier_lock = threading.Lock()
         # Bumped on every successful relation mutation; versions the data
         # independently of scratch writes (temp tables do not count).
         self._data_version = 0
 
-    def _bump_data_version(self) -> None:
+    def _bump_data_version(
+        self, change: Optional[Tuple[str, str, Tuple[Row, ...]]] = None
+    ) -> None:
+        del change  # subclasses that ship incremental reloads log it
         self._data_version += 1
 
     def make_relation(self, schema: RelationSchema) -> SQLiteRelation:
@@ -492,6 +509,59 @@ class SQLiteBackend:
         )
         self._relations[schema.name] = relation
         return relation
+
+    # ------------------------------------------------------------------ #
+    # Saturation queries (the stored-procedure frontier step)
+    # ------------------------------------------------------------------ #
+    def neighbors_of_batch(
+        self, values: Sequence[object]
+    ) -> Dict[object, List[Tuple[str, Row]]]:
+        """``value -> [(relation, tuple)]`` for one whole saturation frontier.
+
+        The frontier values are loaded into a temp table and every relation
+        is joined against it with ONE statement (a UNION of per-column
+        index-driven joins), so expanding a depth level of bottom-clause
+        construction costs one round-trip per relation instead of one
+        lookup per (value, relation) pair.  Values SQLite cannot store come
+        back with empty neighbor lists (they cannot have been stored).
+        """
+        results: Dict[object, List[Tuple[str, Row]]] = {
+            value: [] for value in values
+        }
+        stored_of: Dict[object, object] = {}
+        for value in results:
+            try:
+                stored_of[_storable(value)] = value
+            except BackendValueError:
+                continue
+        if not stored_of:
+            return results
+        with self._frontier_lock:
+            temp = self._frontier_table
+            if temp is None:
+                temp = self._frontier_table = _quote("frontier_values")
+                self._connection.execute(f"CREATE TEMP TABLE {temp} (v)")
+            else:
+                self._connection.execute(f"DELETE FROM {temp}")
+            self._connection.executemany(
+                f"INSERT INTO {temp} VALUES (?)",
+                [(stored,) for stored in stored_of],
+            )
+            for name, relation in self._relations.items():
+                arms = [
+                    f"SELECT f.v, t.* FROM {temp} AS f, {relation._table} AS t "
+                    f"WHERE t.c{i} = f.v"
+                    for i in range(relation.schema.arity)
+                ]
+                # UNION (not UNION ALL) dedups tuples matched in two columns.
+                for row in self._connection.execute(" UNION ".join(arms)):
+                    value = stored_of.get(row[0])
+                    if value is not None:
+                        results[value].append((name, tuple(row[1:])))
+            # Release the frontier rows now rather than pinning the last
+            # batch's values in the long-lived connection until next call.
+            self._connection.execute(f"DELETE FROM {temp}")
+        return results
 
     # ------------------------------------------------------------------ #
     # Body compilation
@@ -1044,6 +1114,43 @@ class SaturationStore:
             self._size += 1
             self._stale_statistics = True
             return example_id
+
+    def existing_id(
+        self, target: str, head_values: Sequence[object]
+    ) -> Optional[int]:
+        """The id of an already-materialized example, or ``None``.
+
+        Lets engines sharing a store (cross-validation folds, the harness
+        presaturation pass) claim stored saturations without rebuilding
+        them — the same dedup key :meth:`add_example` uses.
+        """
+        try:
+            stored = tuple(_storable(v) for v in head_values)
+        except BackendValueError:
+            return None
+        return self._key_ids.get((target, stored))
+
+    def contents(self) -> Dict[Tuple[str, Row], FrozenSet[Tuple[str, Row]]]:
+        """Canonical dump: ``(target, head tuple) -> {(predicate, body row)}``.
+
+        Independent of materialization order and example-id assignment, so
+        two stores filled through different paths (in-process vs sharded
+        saturation construction) can be compared for identical contents.
+        """
+        with self._lock:
+            heads: Dict[int, Tuple[str, Row]] = {}
+            for (target, _arity), table in self._head_tables.items():
+                for row in self._connection.execute(f"SELECT * FROM {table}"):
+                    heads[row[0]] = (target, tuple(row[1:]))
+            result: Dict[Tuple[str, Row], Set[Tuple[str, Row]]] = {
+                key: set() for key in heads.values()
+            }
+            for (predicate, _arity), table in self._body_tables.items():
+                for row in self._connection.execute(f"SELECT * FROM {table}"):
+                    key = heads.get(row[0])
+                    if key is not None:
+                        result[key].add((predicate, tuple(row[1:])))
+        return {key: frozenset(atoms) for key, atoms in result.items()}
 
     # ------------------------------------------------------------------ #
     # Coverage

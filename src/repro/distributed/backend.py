@@ -52,6 +52,14 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
 
     name = "sqlite-sharded"
 
+    #: Mutation-log caps: beyond this many change records — or this many
+    #: total logged rows, whichever trips first — the log's floor advances
+    #: (older diffs become impossible) instead of growing unbounded.  The
+    #: row cap matters because one ``add_all`` entry holds a full copy of
+    #: every inserted row.
+    MAX_MUTATION_LOG_ENTRIES = 4096
+    MAX_MUTATION_LOG_ROWS = 65536
+
     def __init__(
         self,
         connection=None,
@@ -73,6 +81,64 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
         self._instance_schema: Optional[Schema] = None
         self._service: Optional[EvaluationService] = None
         self._service_finalizer = None
+        # Ordered relation-change log backing incremental worker reloads:
+        # ``(data_version after the change, (op, relation, rows))`` entries.
+        # ``_log_floor`` is the version up to which changes are NOT in the
+        # log — diffs can only be cut for tokens at or above it.
+        self._mutation_log: List[Tuple[int, Tuple[str, str, Tuple[Row, ...]]]] = []
+        self._log_floor = 0
+        self._log_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # Mutation log (incremental worker reloads)
+    # ------------------------------------------------------------------ #
+    def _bump_data_version(
+        self, change: Optional[Tuple[str, str, Tuple[Row, ...]]] = None
+    ) -> None:
+        super()._bump_data_version()
+        if change is None:
+            # A mutation without a change record cannot be replayed; diffs
+            # crossing this version must fall back to a full reload.
+            self._clear_mutation_log()
+            return
+        self._mutation_log.append((self._data_version, change))
+        self._log_rows += len(change[2])
+        while self._mutation_log and (
+            len(self._mutation_log) > self.MAX_MUTATION_LOG_ENTRIES
+            or self._log_rows > self.MAX_MUTATION_LOG_ROWS
+        ):
+            version, (_op, _name, rows) = self._mutation_log.pop(0)
+            self._log_rows -= len(rows)
+            self._log_floor = version
+
+    def _clear_mutation_log(self) -> None:
+        self._mutation_log.clear()
+        self._log_rows = 0
+        self._log_floor = self._data_version
+
+    def collect_diff(
+        self, since_token: Optional[Tuple[int, int]]
+    ) -> Optional[List[Tuple[str, str, Tuple[Row, ...]]]]:
+        """The ordered relation diff since a pool-state token, or ``None``.
+
+        ``None`` — ship the full payload instead — when the token predates
+        the log floor, the relation set changed (the token's first element),
+        or the diff would ship at least as many rows as the payload itself.
+        """
+        if not since_token:
+            return None
+        relation_count, version = since_token
+        if relation_count != len(self._relations) or version < self._log_floor:
+            return None
+        entries = [
+            change for logged_version, change in self._mutation_log
+            if logged_version > version
+        ]
+        diff_rows = sum(len(rows) for _op, _name, rows in entries)
+        payload_rows = sum(len(relation) for relation in self._relations.values())
+        if diff_rows >= payload_rows:
+            return None
+        return entries
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -99,6 +165,12 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
             name: list(relation.rows)
             for name, relation in self._relations.items()
         }
+        # A full payload supersedes every logged change for this backend's
+        # (single) service: any worker built from it is current, and
+        # stragglers synced to an older token simply fall back to a full
+        # reload via the log-floor check.  Clearing here keeps the log from
+        # pinning a duplicate of the initial bulk load in memory.
+        self._clear_mutation_log()
         return InstancePayload(
             schema,
             rows,
@@ -173,12 +245,17 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
                 backend = backend_ref()
                 return None if backend is None else backend._pool_state()
 
+            def diff_fn(since_token: object) -> Optional[List[object]]:
+                backend = backend_ref()
+                return None if backend is None else backend.collect_diff(since_token)
+
             self._service = EvaluationService(
                 payload_fn,
                 shards=self.shards,
                 strategy=self.strategy,
                 transport=self.transport,
                 state_token_fn=state_token_fn,
+                diff_fn=diff_fn,
             )
             # Workers must not outlive the backend (tests build many
             # instances; daemonized processes still cost memory and pids).

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from .protocol import SocketTransport, PipeTransport, TransportError, connect
 from .sharding import DEFAULT_STRATEGY, ShardAssigner, SHARDING_STRATEGIES
 from .worker import (
+    SATURATION_SPEC_KINDS,
     SPEC_KINDS,
     InstancePayload,
     pipe_worker_main,
@@ -132,6 +133,14 @@ class EvaluationService:
         Optional callable returning a cheap token of the source data's
         version; when it changes between batches every worker is reloaded,
         so mutations on the coordinator instance are always visible.
+    diff_fn:
+        Optional callable mapping the last-synced token to an **incremental
+        relation diff** (an ordered list of ``(op, relation, rows)``
+        entries) — when it returns one, live workers are updated with an
+        ``apply_diff`` request instead of a full payload reload.  Returning
+        ``None`` means "cannot diff from that token" (new relation, log
+        truncated, diff larger than the payload) and falls back to the full
+        reload.  Respawned workers always rebuild from the full payload.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class EvaluationService:
         strategy: str = DEFAULT_STRATEGY,
         transport: str = "pipe",
         state_token_fn: Optional[Callable[[], object]] = None,
+        diff_fn: Optional[Callable[[object], Optional[List[object]]]] = None,
     ):
         if strategy not in SHARDING_STRATEGIES:
             raise ValueError(
@@ -160,7 +170,10 @@ class EvaluationService:
         self.strategy = strategy
         self.transport = transport
         self._state_token_fn = state_token_fn
+        self._diff_fn = diff_fn
         self._synced_token: object = None
+        self.reloads_full = 0
+        self.reloads_incremental = 0
         # ``spawn`` keeps workers independent of coordinator threads and
         # inherited SQLite state (fork + live threads is a deadlock lottery).
         self._context = multiprocessing.get_context("spawn")
@@ -376,12 +389,20 @@ class EvaluationService:
         token = self._state_token_fn()
         if token == self._synced_token:
             return
-        payload = self.payload_fn()
+        diff = self._diff_fn(self._synced_token) if self._diff_fn else None
+        if diff is not None:
+            self.reloads_incremental += 1
+            message = ("apply_diff", (diff,))
+        else:
+            self.reloads_full += 1
+            message = ("reload", self.payload_fn())
         for handle in self._handles:
             try:
-                handle.request(("reload", payload))
+                handle.request(message)
             except TransportError as first_error:
                 try:
+                    # A respawn rebuilds from the CURRENT full payload, so a
+                    # worker lost mid-diff needs no diff replay afterwards.
                     self._respawn(handle)
                 except (TransportError, OSError, EOFError) as exc:
                     # Same failure surface as a batch request: shard loss
@@ -401,6 +422,38 @@ class EvaluationService:
         """
         return max(1, int(parallelism) // max(1, len(self._handles)))
 
+    def _scatter(
+        self,
+        kind: str,
+        keys: Sequence[object],
+        items: Sequence[object],
+        payload_for: Callable[[List[object]], object],
+    ) -> Tuple[List[List[int]], List[Tuple[int, object]]]:
+        """Sticky example-axis fan-out shared by every per-item request kind.
+
+        Partitions ``items`` by ``keys`` through the sticky assigner,
+        queries every busy shard concurrently with the respawn-once retry
+        policy, and returns the partition buckets plus ``(shard, reply)``
+        pairs — keeping the retry and input-order-reassembly policy in one
+        place for coverage and saturation batches alike.
+        """
+        buckets = self._assigner.partition(keys)
+
+        def run_shard(shard: int) -> Tuple[int, object]:
+            slice_items = [items[i] for i in buckets[shard]]
+            reply = self._request_with_retry(
+                self._handles[shard], (kind, payload_for(slice_items))
+            )
+            return shard, reply
+
+        busy = [s for s in range(len(buckets)) if buckets[s]]
+        if len(busy) <= 1:
+            replies = [run_shard(s) for s in busy]
+        else:
+            replies = list(self._executor.map(run_shard, busy))
+        self.batches_served += 1
+        return buckets, replies
+
     def _fan_out(
         self,
         kind: str,
@@ -409,28 +462,13 @@ class EvaluationService:
         payload_for: Callable[[List[object]], object],
         clause_count: int,
     ) -> List[List[int]]:
-        """Partition ``items`` by ``keys``, query every busy shard, and merge.
+        """Bitset variant of :meth:`_scatter`: merge per-shard masks.
 
         Returns, per clause, the list of *global* item indices covered —
         assembled from the per-shard bitsets, so the caller reconstructs
         results in input order regardless of shard count.
         """
-        buckets = self._assigner.partition(keys)
-
-        def run_shard(shard: int) -> Tuple[int, List[int]]:
-            indices = buckets[shard]
-            slice_items = [items[i] for i in indices]
-            masks = self._request_with_retry(
-                self._handles[shard], (kind, payload_for(slice_items))
-            )
-            return shard, masks
-
-        busy = [s for s in range(len(buckets)) if buckets[s]]
-        if len(busy) <= 1:
-            shard_masks = [run_shard(s) for s in busy]
-        else:
-            shard_masks = list(self._executor.map(run_shard, busy))
-
+        buckets, shard_masks = self._scatter(kind, keys, items, payload_for)
         covered_indices: List[List[int]] = [[] for _ in range(clause_count)]
         for shard, masks in shard_masks:
             indices = buckets[shard]
@@ -442,7 +480,6 @@ class EvaluationService:
                         covered_indices[clause_index].append(global_index)
         for per_clause in covered_indices:
             per_clause.sort()
-        self.batches_served += 1
         return covered_indices
 
     def covered_examples_batch(
@@ -482,6 +519,50 @@ class EvaluationService:
         return [
             [example_list[i] for i in indices] for indices in covered
         ]
+
+    def materialize_saturations(
+        self,
+        spec: Tuple[object, ...],
+        examples: Sequence[object],
+        variablize: bool = False,
+        parallelism: int = 1,
+    ) -> List[object]:
+        """Bottom clauses / saturations for a whole example set, in order.
+
+        ``spec`` is a picklable builder recipe (``saturation_spec()`` of a
+        bottom-clause builder); each worker instantiates it once and keeps
+        its compiled IND/theory-constant metadata warm.  The example axis is
+        split with the same sticky assignment coverage uses, so an example
+        is always saturated on the shard that owns it, and the constructed
+        clauses are shipped back and reassembled into input order.
+        """
+        if not spec or spec[0] not in SATURATION_SPEC_KINDS:
+            raise ValueError(
+                f"unknown saturation spec kind {spec[0] if spec else spec!r}; "
+                f"available: {list(SATURATION_SPEC_KINDS)}"
+            )
+        example_list = list(examples)
+        if not example_list:
+            return []
+        self._ensure_ready()
+        keys = [(e.target, e.values, e.positive) for e in example_list]
+        worker_parallelism = self._worker_parallelism(parallelism)
+        buckets, shard_results = self._scatter(
+            "materialize_saturations",
+            keys,
+            example_list,
+            lambda slice_examples: (
+                spec,
+                slice_examples,
+                bool(variablize),
+                worker_parallelism,
+            ),
+        )
+        results: List[object] = [None] * len(example_list)
+        for shard, clauses in shard_results:
+            for local_index, global_index in enumerate(buckets[shard]):
+                results[global_index] = clauses[local_index]
+        return results
 
     def covered_candidates_batch(
         self,

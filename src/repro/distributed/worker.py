@@ -44,6 +44,10 @@ Row = Tuple[object, ...]
 #: coverage engines).  Listed here so the service can validate early.
 SPEC_KINDS = ("query", "subsumption", "castor")
 
+#: Builder-spec kinds a worker can instantiate for saturation
+#: materialization (see ``saturation_spec`` on the bottom-clause builders).
+SATURATION_SPEC_KINDS = ("bottom", "castor-bottom")
+
 
 class InstancePayload:
     """Everything a worker needs to rebuild the database instance."""
@@ -73,6 +77,7 @@ class WorkerState:
     def __init__(self) -> None:
         self.instance = None
         self._engines: Dict[bytes, object] = {}
+        self._builders: Dict[bytes, object] = {}
 
     # ------------------------------------------------------------------ #
     # Instance / engines
@@ -87,8 +92,10 @@ class WorkerState:
         self.instance = DatabaseInstance(payload.schema, backend=backend)
         for name, rows in payload.rows.items():
             self.instance.add_tuples(name, rows)
-        # Engines (and their saturation stores) describe the old data.
+        # Engines (and their saturation stores) and cached bottom-clause
+        # builders describe the old data.
         self._engines.clear()
+        self._builders.clear()
 
     def _engine_for(self, spec: Tuple[object, ...]):
         """Build (or fetch the cached) coverage engine for an engine spec.
@@ -132,6 +139,42 @@ class WorkerState:
         self._engines[key] = engine
         return engine
 
+    def _builder_for(self, spec: Tuple[object, ...]):
+        """Build (or fetch the cached) bottom-clause builder for a spec.
+
+        Mirrors :meth:`_engine_for`: keyed by the spec's pickle, so repeated
+        saturation batches with one configuration reuse the compiled
+        IND/theory-constant metadata.
+        """
+        key = pickle.dumps(spec)
+        builder = self._builders.get(key)
+        if builder is not None:
+            return builder
+        if self.instance is None:
+            raise RuntimeError("worker received a batch before init")
+        kind = spec[0]
+        # The spec pins the coordinator builder's theory constants; passing
+        # them skips the worker-side whole-database inference scan AND keeps
+        # clauses identical even where local re-inference would differ.
+        if kind == "bottom":
+            from ..learning.bottom_clause import BottomClauseBuilder
+
+            _, config, theory_constants = spec
+            builder = BottomClauseBuilder(
+                self.instance, config, theory_constants=theory_constants
+            )
+        elif kind == "castor-bottom":
+            from ..castor.bottom_clause import CastorBottomClauseBuilder
+
+            _, schema, config, theory_constants = spec
+            builder = CastorBottomClauseBuilder(
+                self.instance, schema, config, theory_constants=theory_constants
+            )
+        else:
+            raise ValueError(f"unknown saturation spec kind {kind!r}")
+        self._builders[key] = builder
+        return builder
+
     # ------------------------------------------------------------------ #
     # Request handlers
     # ------------------------------------------------------------------ #
@@ -140,6 +183,54 @@ class WorkerState:
         return {"pid": os.getpid(), "tuples": self.instance.total_tuples()}
 
     handle_reload = handle_init
+
+    def handle_apply_diff(self, payload) -> Dict[str, object]:
+        """Apply an incremental relation diff instead of a full rebuild.
+
+        The payload is the coordinator's ordered mutation log slice:
+        ``("add"|"remove", relation, rows)`` entries.  Replay is
+        **idempotent**: adds ignore rows that already exist (the log may
+        record them) and removes ignore rows already gone — the coordinator
+        re-sends a diff from the same token when a fleet-wide sync was
+        interrupted midway, so a worker that already applied it must land
+        in the same state, not error.  Engine and builder caches are
+        dropped either way: their saturation stores describe the old data.
+        """
+        (entries,) = payload
+        if self.instance is None:
+            raise RuntimeError("worker received a diff before init")
+        for op, relation_name, rows in entries:
+            if op == "add":
+                self.instance.add_tuples(relation_name, rows)
+            elif op == "remove":
+                relation = self.instance.relation(relation_name)
+                for row in rows:
+                    try:
+                        relation.remove(row)
+                    except KeyError:
+                        pass  # already removed by an earlier replay
+            else:
+                raise ValueError(f"unknown diff op {op!r}")
+        self._engines.clear()
+        self._builders.clear()
+        return {"pid": os.getpid(), "tuples": self.instance.total_tuples()}
+
+    def handle_materialize_saturations(self, payload) -> List[object]:
+        """Bottom clauses / saturations for this shard's slice of examples.
+
+        Returns one :class:`~repro.logic.clauses.HornClause` per example in
+        slice order; the coordinator reassembles input order from the
+        sticky example partition.  The payload's ``parallelism`` field is
+        reserved: worker-rebuilt builders run compiled lookups, whose
+        level-synchronized batch is already optimal, so the engine's
+        thread-chunk path never triggers here today.
+        """
+        from ..learning.bottom_clause import BatchSaturationEngine
+
+        spec, examples, variablize, parallelism = payload
+        builder = self._builder_for(spec)
+        engine = BatchSaturationEngine(builder, parallelism=max(1, int(parallelism)))
+        return engine.build_batch(examples, variablize=bool(variablize))
 
     def handle_ping(self, _payload) -> str:
         return "pong"

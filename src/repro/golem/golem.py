@@ -70,6 +70,9 @@ class _GolemClauseLearner:
         sample = list(uncovered_positives)
         self._rng.shuffle(sample)
         sample = sample[: max(2, self.parameters.sample_size)]
+        # The sampled saturations feed every pairwise rlgg below; build them
+        # as one batch instead of a per-example loop.
+        self.coverage.prepare(sample)
 
         candidates: List[HornClause] = []
         for i in range(len(sample)):

@@ -36,7 +36,11 @@ from ..database.sqlite_backend import (
 )
 from ..logic.clauses import HornClause
 from ..logic.subsumption import GroundClauseIndex, SubsumptionEngine
-from .bottom_clause import BottomClauseBuilder, BottomClauseConfig
+from .bottom_clause import (
+    BatchSaturationEngine,
+    BottomClauseBuilder,
+    BottomClauseConfig,
+)
 from .examples import Example
 
 
@@ -115,20 +119,20 @@ class SubsumptionCoverageEngine:
         saturation_store: Optional[SaturationStore] = None,
     ):
         self.instance = instance
-        self.builder = BottomClauseBuilder(
-            instance, saturation_config or BottomClauseConfig(max_depth=3)
-        )
+        self._saturation_cache: Dict[Example, HornClause] = {}
+        self._saturation_index_cache: Dict[Example, GroundClauseIndex] = {}
+        self._coverage_cache: Dict[Tuple[HornClause, Example], bool] = {}
+        self._compiled_ids: Dict[Example, int] = {}
+        self._compiled_failed: Set[Example] = set()
+        # Caches must exist before the builder property setter runs (it
+        # clears them on rebind).
+        self.builder = self._make_builder(instance, saturation_config)
         self.subsumption = SubsumptionEngine()
         self.threads = max(1, int(threads))
         if compiled is None:
             compiled = instance.backend_name.startswith("sqlite")
         self.compiled_enabled = bool(compiled)
-        self._saturation_cache: Dict[Example, HornClause] = {}
-        self._saturation_index_cache: Dict[Example, GroundClauseIndex] = {}
-        self._coverage_cache: Dict[Tuple[HornClause, Example], bool] = {}
         self._compiled_store: Optional[SaturationStore] = saturation_store
-        self._compiled_ids: Dict[Example, int] = {}
-        self._compiled_failed: Set[Example] = set()
         self._lock = threading.Lock()
         # Serializes store creation + materialization so concurrent batch
         # workers never race to create two stores (whose independent id
@@ -137,6 +141,42 @@ class SubsumptionCoverageEngine:
         self.coverage_tests_performed = 0
         self.cache_hits = 0
         self.compiled_statements = 0
+
+    @property
+    def builder(self) -> BottomClauseBuilder:
+        return self._builder
+
+    @builder.setter
+    def builder(self, value: BottomClauseBuilder) -> None:
+        # Keep the batch saturator wired to the live builder: callers (and
+        # some tests) rebind ``engine.builder`` to swap construction
+        # semantics, and the batched prepare() path must follow — a stale
+        # saturator would silently cache clauses from the old builder.
+        # Already-cached saturations (and the coverage decisions derived
+        # from them) describe the OLD builder's semantics, so they are
+        # dropped alongside.
+        self._builder = value
+        self.saturator = BatchSaturationEngine(value)
+        self._saturation_cache.clear()
+        self._saturation_index_cache.clear()
+        self._coverage_cache.clear()
+        self._compiled_ids.clear()
+        self._compiled_failed.clear()
+
+    def _make_builder(
+        self,
+        instance: DatabaseInstance,
+        saturation_config: Optional[BottomClauseConfig],
+    ) -> BottomClauseBuilder:
+        """Factory hook for the engine's bottom-clause builder.
+
+        Subclasses (Castor) override it to supply an IND-aware builder;
+        the base constructor wires the batch saturator around whatever
+        this returns, so overriding here never needs a post-hoc rebind.
+        """
+        return BottomClauseBuilder(
+            instance, saturation_config or BottomClauseConfig(max_depth=3)
+        )
 
     # ------------------------------------------------------------------ #
     # Saturations
@@ -158,9 +198,27 @@ class SubsumptionCoverageEngine:
         return cached
 
     def prepare(self, examples: Iterable[Example]) -> None:
-        """Pre-build saturations for a collection of examples."""
-        for example in examples:
-            self.saturation(example)
+        """Pre-build saturations for a whole example generation — one call.
+
+        Missing saturations are built through the
+        :class:`~repro.learning.bottom_clause.BatchSaturationEngine`, so on
+        a sharded backend the generation is saturated by the worker fleet
+        (each example on the shard that owns it) and the clauses shipped
+        back, instead of a per-example Python construction loop here.
+        """
+        missing = [
+            example
+            for example in dict.fromkeys(examples)
+            if example not in self._saturation_cache
+        ]
+        if not missing:
+            return
+        if len(missing) == 1:
+            self.saturation(missing[0])
+            return
+        clauses = self.saturator.build_ground_batch(missing)
+        for example, clause in zip(missing, clauses):
+            self._saturation_cache[example] = clause
 
     # ------------------------------------------------------------------ #
     # Coverage
@@ -193,9 +251,12 @@ class SubsumptionCoverageEngine:
         (optionally across the engine's thread pool).
         """
         if self.compiled_enabled and len(examples) >= self.COMPILED_MIN_EXAMPLES:
+            # The compiled route batch-prepares inside _materialize.
             compiled = self._covered_examples_compiled(clause, examples)
             if compiled is not None:
                 return compiled
+        if len(examples) > 1:
+            self.prepare(examples)
         if self.threads == 1 or len(examples) < 4:
             return [e for e in examples if self.covers(clause, e)]
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
@@ -241,21 +302,58 @@ class SubsumptionCoverageEngine:
     # Compiled (SQL) subsumption coverage
     # ------------------------------------------------------------------ #
     def _materialize(self, examples: Sequence[Example]) -> None:
-        """Add any not-yet-stored saturations to the compiled store."""
+        """Add any not-yet-stored saturations to the compiled store.
+
+        Missing saturations are built for the whole batch in one
+        :meth:`prepare` call (sharded backends fan construction across their
+        worker fleet) before the per-example store inserts.
+        """
         with self._materialize_lock:
             store = self._compiled_store
             if store is None:
                 store = self._compiled_store = SaturationStore()
-            for example in examples:
-                if example in self._compiled_ids or example in self._compiled_failed:
-                    continue
-                saturation = self.saturation(example)
-                try:
-                    self._compiled_ids[example] = store.add_example(
-                        example.target, example.values, saturation.body
-                    )
-                except BackendValueError:
-                    self._compiled_failed.add(example)
+            pending = [
+                example
+                for example in dict.fromkeys(examples)
+                if example not in self._compiled_ids
+                and example not in self._compiled_failed
+            ]
+            if not pending:
+                return
+            # Claim saturations another engine already materialized into
+            # this (possibly shared) store — a previous fold, the harness
+            # presaturation pass — without rebuilding them; add_example
+            # would dedup on the same key anyway, but only after paying for
+            # construction.
+            remaining: List[Example] = []
+            for example in pending:
+                existing = store.existing_id(example.target, example.values)
+                if existing is not None:
+                    self._compiled_ids[example] = existing
+                else:
+                    remaining.append(example)
+            if not remaining:
+                return
+            self.prepare(remaining)
+            ids = self.saturator.materialize_into(
+                store, remaining, saturation_fn=self.saturation
+            )
+            self._compiled_ids.update(ids)
+            self._compiled_failed.update(
+                example for example in remaining if example not in ids
+            )
+
+    def materialize(self, examples: Sequence[Example]) -> None:
+        """Public entry point: saturate + store a whole example set in batch.
+
+        Used by the experiment harness to pre-warm a shared
+        :class:`~repro.database.sqlite_backend.SaturationStore` before
+        cross-validation folds; a no-op for already-materialized examples.
+        """
+        if self.compiled_enabled:
+            self._materialize(examples)
+        else:
+            self.prepare(examples)
 
     def _covered_examples_compiled(
         self, clause: HornClause, examples: Sequence[Example]

@@ -137,6 +137,10 @@ class ProGolemClauseLearner:
             return None
         positives = list(uncovered_positives)
         negatives = list(negatives)
+        # Saturate the whole generation in ONE batch call (sharded backends
+        # fan construction across their worker fleet) instead of letting the
+        # beam loop build saturations one example at a time.
+        self.coverage.prepare([*positives, *negatives])
         seed = positives[0]
         seed_clause = self.build_seed_clause(instance, seed)
         if not seed_clause.body:

@@ -208,3 +208,44 @@ def test_store_is_shared_across_fold_learners(tiny_bundle):
     assert len(seen) >= 2, "cross-validation should build one learner per fold"
     assert len(stores) == 1
     assert isinstance(seen[0].saturation_store, SaturationStore)
+
+
+def test_presaturate_warms_the_shared_store_before_folding(tiny_bundle):
+    """presaturate= materializes every example into the shared store up
+    front (one batched call) and fold results are unchanged."""
+    spec = progolem_spec()
+    seen = []
+    original_factory = spec.factory
+
+    def spying_factory(schema_arg):
+        learner = original_factory(schema_arg)
+        seen.append(learner)
+        return learner
+
+    spec.factory = spying_factory
+    warmed = run_variant(
+        tiny_bundle,
+        tiny_bundle.variant_names[0],
+        spec,
+        folds=2,
+        backend="sqlite",
+        reuse_saturation_store=True,
+        presaturate=True,
+    )
+    store = seen[0].saturation_store
+    assert len(store) == len(tiny_bundle.examples.all_examples())
+
+    cold = run_variant(
+        tiny_bundle,
+        tiny_bundle.variant_names[0],
+        progolem_spec(),
+        folds=2,
+        backend="sqlite",
+        reuse_saturation_store=True,
+        presaturate=False,
+    )
+    assert (warmed.precision, warmed.recall, warmed.f1) == (
+        cold.precision,
+        cold.recall,
+        cold.f1,
+    )
