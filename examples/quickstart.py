@@ -5,16 +5,23 @@ Run with::
     python examples/quickstart.py
 
 The script generates a small UW-CSE-style department, splits the labeled
-advisedBy pairs into train/test, learns a Horn definition with Castor, and
-prints the definition together with its precision and recall.
+advisedBy pairs into train/test, learns a Horn definition with Castor
+through a :class:`LearningSession` (the unified front door: one validated
+config instead of per-learner knobs), and prints the definition together
+with its precision and recall.
+
+To learn against a persistent evaluation server instead — so repeated runs
+reuse one warm worker fleet — start one and swap the session line::
+
+    python -m repro.distributed.service --serve 127.0.0.1:7463
+    # then: session = repro.connect("127.0.0.1:7463")
 """
 
 from __future__ import annotations
 
-from repro.castor import CastorLearner, CastorParameters
+from repro import CastorParameters, LearningSession, SessionConfig, evaluate_definition
 from repro.castor.bottom_clause import CastorBottomClauseConfig
 from repro.datasets import uwcse
-from repro.learning import evaluate_definition
 
 
 def main() -> None:
@@ -31,15 +38,14 @@ def main() -> None:
     )
 
     train, test = bundle.examples.train_test_split(test_fraction=0.3, seed=0)
-    learner = CastorLearner(
-        schema,
-        CastorParameters(
-            sample_size=3,
-            beam_width=2,
-            bottom_clause=CastorBottomClauseConfig(max_depth=3, max_distinct_variables=15),
-        ),
+    parameters = CastorParameters(
+        sample_size=3,
+        beam_width=2,
+        bottom_clause=CastorBottomClauseConfig(max_depth=3, max_distinct_variables=15),
     )
-    definition = learner.learn(instance, train)
+    with LearningSession(SessionConfig(backend="sqlite")) as session:
+        learner = session.learner("castor", schema, parameters)
+        definition = learner.learn(instance, train)
 
     print("\nLearned definition for advisedBy(stud, prof):")
     print(definition if len(definition) else "  (no clause satisfied the acceptance thresholds)")

@@ -15,18 +15,24 @@ The package provides:
 * :mod:`repro.datasets` — synthetic UW-CSE, HIV, and IMDb datasets with the
   paper's schema variants;
 * :mod:`repro.distributed` — the sharded multi-process evaluation service
-  behind the ``"sqlite-sharded"`` backend (see ``docs/distributed.md``);
+  behind the ``"sqlite-sharded"`` backend, plus the persistent evaluation
+  server (``python -m repro.distributed.service --serve``); see
+  ``docs/distributed.md``;
+* :mod:`repro.session` — the unified front door: :class:`SessionConfig` +
+  :class:`LearningSession` own backend/service/store lifecycle (see
+  ``docs/session.md``);
 * :mod:`repro.experiments` — drivers regenerating every table and figure of
   the paper's evaluation.
 
 Quickstart::
 
+    from repro import LearningSession, SessionConfig
     from repro.datasets import uwcse
-    from repro.castor import CastorLearner, CastorParameters
 
     bundle = uwcse.load(seed=0)
-    learner = CastorLearner(bundle.schema("original"))
-    definition = learner.learn(bundle.instance("original"), bundle.examples)
+    with LearningSession(SessionConfig(backend="sqlite")) as session:
+        learner = session.learner("castor", bundle.schema("original"))
+        definition = learner.learn(bundle.instance("original"), bundle.examples)
     print(definition)
 """
 
@@ -45,6 +51,7 @@ from .logic import Atom, Constant, HornClause, HornDefinition, Variable, parse_c
 from .progol import AlephFoilLearner, ProgolLearner, ProgolParameters
 from .progolem import ProGolemLearner, ProGolemParameters
 from .querybased import A2Learner, HornOracle
+from .session import LearningSession, SessionConfig, connect
 from .transform import ComposeOperation, DecomposeOperation, SchemaTransformation
 
 __version__ = "1.0.0"
@@ -70,6 +77,7 @@ __all__ = [
     "HornDefinition",
     "HornOracle",
     "InclusionDependency",
+    "LearningSession",
     "ProGolemLearner",
     "ProGolemParameters",
     "ProgolLearner",
@@ -77,7 +85,9 @@ __all__ = [
     "RelationSchema",
     "Schema",
     "SchemaTransformation",
+    "SessionConfig",
     "Variable",
+    "connect",
     "cross_validate",
     "evaluate_definition",
     "parse_clause",

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..database.backend import configure_backend_sharding
 from ..database.constraints import InclusionDependency
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
@@ -93,12 +92,17 @@ class CastorCoverageEngine(SubsumptionCoverageEngine):
         schema: Schema,
         config: CastorBottomClauseConfig,
         threads: int = 1,
+        compiled: Optional[bool] = None,
         saturation_store=None,
     ):
         # Bound before super().__init__, whose _make_builder call reads it.
         self.working_schema = schema
         super().__init__(
-            instance, config, threads=threads, saturation_store=saturation_store
+            instance,
+            config,
+            threads=threads,
+            compiled=compiled,
+            saturation_store=saturation_store,
         )
 
     def _make_builder(self, instance: DatabaseInstance, saturation_config):
@@ -202,6 +206,7 @@ class CastorLearner(ProGolemLearner):
         parallelism: Optional[int] = None,
         shards: Optional[int] = None,
         saturation_store=None,
+        context=None,
     ):
         super().__init__(
             schema,
@@ -209,15 +214,12 @@ class CastorLearner(ProGolemLearner):
             threads=threads,
             parallelism=parallelism,
             saturation_store=saturation_store,
+            backend=backend,
+            shards=shards,
+            context=context,
         )
         self.parameters: CastorParameters = self.parameters
         self._working_schema: Optional[Schema] = None
-        # Storage/evaluation backend the learner wants the instance on
-        # (None = use the instance as given).
-        self.backend = backend
-        # Worker count when the backend is sharded (None = backend default);
-        # like parallelism, shards never changes results, only wall-clock.
-        self.shards = shards
 
     # ------------------------------------------------------------------ #
     def working_schema_for(self, instance: DatabaseInstance) -> Schema:
@@ -253,6 +255,7 @@ class CastorLearner(ProGolemLearner):
             self._working_schema,
             config,
             threads=self.threads,
+            compiled=self.compiled_coverage,
             saturation_store=self.saturation_store,
         )
 
@@ -265,9 +268,8 @@ class CastorLearner(ProGolemLearner):
         )
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
-        if self.backend is not None and self.backend != instance.backend_name:
-            instance = instance.with_backend(self.backend)
-        configure_backend_sharding(instance.backend, self.shards)
+        # Backend conversion and shard configuration happen in the base
+        # class's learn() — one normalization path for the whole family.
         definition = super().learn(instance, examples)
         if self.parameters.ensure_safe:
             safe_clauses = [clause for clause in definition if clause.is_safe()]

@@ -153,6 +153,10 @@ class MemoryBackend:
         self._relations: Dict[str, "RelationBackend"] = {}
         self._by_value: Dict[object, Set[Tuple[str, Row]]] = {}
         self._bound = False
+        # Bumped on every effective insert/delete; cheap contents-version
+        # token (mirrors the SQLite family's data version) so caches keyed
+        # on an instance can notice mutations.
+        self.data_version = 0
 
     def bind_instance_schema(self, schema) -> None:
         """Hook called by :class:`~repro.database.instance.DatabaseInstance`
@@ -178,6 +182,7 @@ class MemoryBackend:
         name = schema.name
 
         def on_change(row: Row, added: bool) -> None:
+            self.data_version += 1
             for value in set(row):
                 entries = self._by_value.setdefault(value, set())
                 if added:
@@ -238,7 +243,19 @@ def create_backend(backend: Union[str, Backend, None]) -> Backend:
     return factory()
 
 
-_SHARDING_WARNED: Set[str] = set()
+# Best-effort knobs stay best-effort across the whole stack, but silently
+# ignoring an explicit setting hides typos and wasted configuration — every
+# layer (this registry, the session config, the distributed client) says so
+# once per distinct situation through this shared registry.
+_WARNED: Set[str] = set()
+
+
+def warn_once(message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a RuntimeWarning once per process."""
+    if message in _WARNED:
+        return
+    _WARNED.add(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
 
 
 def configure_backend_sharding(backend: Backend, shards: Optional[int]) -> bool:
@@ -254,13 +271,10 @@ def configure_backend_sharding(backend: Backend, shards: Optional[int]) -> bool:
         return True
     configure = getattr(backend, "configure_sharding", None)
     if configure is None:
-        message = (
+        warn_once(
             f"backend {getattr(backend, 'name', '?')!r} has no sharded "
             f"evaluation service; ignoring shards={shards}"
         )
-        if message not in _SHARDING_WARNED:
-            _SHARDING_WARNED.add(message)
-            warnings.warn(message, RuntimeWarning, stacklevel=3)
         return False
     configure(shards=shards)
     return True
@@ -284,7 +298,16 @@ def _sqlite_sharded_factory() -> Backend:
     return ShardedSQLiteBackend()
 
 
+def _sqlite_remote_factory() -> Backend:
+    # Unconfigured until ``configure_remote``/``LearningSession.connect``
+    # binds it to a persistent evaluation server; storage works regardless.
+    from ..distributed.client import RemoteBackend
+
+    return RemoteBackend()
+
+
 register_backend("memory", MemoryBackend)
 register_backend("sqlite", _sqlite_factory)
 register_backend("sqlite-pooled", _sqlite_pooled_factory)
 register_backend("sqlite-sharded", _sqlite_sharded_factory)
+register_backend("sqlite-remote", _sqlite_remote_factory)

@@ -310,6 +310,27 @@ class DatabaseInstance:
     # ------------------------------------------------------------------ #
     # Comparison / copying
     # ------------------------------------------------------------------ #
+    def data_token(self) -> Optional[Tuple[int, int]]:
+        """Cheap token of this instance's current contents-version.
+
+        Changes whenever a tuple is inserted or deleted (and when the
+        relation set changes), so caches keyed on an instance — e.g. a
+        :class:`~repro.session.session.LearningSession`'s prepared-instance
+        and saturation-store caches — can notice mutations without
+        scanning.  ``None`` when the backend tracks no version (exotic
+        third-party backends); every registered backend tracks one.
+        """
+        pool_state = getattr(self.backend, "_pool_state", None)
+        if pool_state is not None:
+            return pool_state()
+        # Plain SQLite (no snapshot pool) and the memory backend expose the
+        # bare version counter instead.
+        for attribute in ("_data_version", "data_version"):
+            version = getattr(self.backend, attribute, None)
+            if version is not None:
+                return (len(self._relations), version)
+        return None
+
     def copy(self) -> "DatabaseInstance":
         """Deep-ish copy: new relation stores (same backend kind) sharing tuples."""
         return self.with_backend(self.backend_name)

@@ -108,6 +108,20 @@ class DatasetBundle:
             backend=backend,
         )
 
+    def close(self) -> None:
+        """Close the backends of every materialized variant instance.
+
+        Backends with worker fleets or connection pools (`sqlite-pooled`,
+        `sqlite-sharded`) hold real OS resources; owners of a converted
+        bundle (e.g. a `LearningSession`) call this instead of waiting for
+        the garbage collector.  Instances re-materialize lazily afterwards.
+        """
+        for instance in self._materialized.values():
+            close = getattr(instance.backend, "close", None)
+            if close is not None:
+                close()
+        self._materialized.clear()
+
     def transformation(self, variant_name: str) -> SchemaTransformation:
         return self.variant(variant_name).transformation
 

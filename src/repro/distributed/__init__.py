@@ -17,6 +17,13 @@ Public surface:
 """
 
 from .backend import ShardedSQLiteBackend
+from .client import (
+    RemoteBackend,
+    RemoteEvaluationService,
+    ServerError,
+    ServiceClient,
+    payload_content_hash,
+)
 from .protocol import (
     PipeTransport,
     SocketTransport,
@@ -30,6 +37,7 @@ from .service import (
     WorkerError,
     default_shard_count,
 )
+from .server import ServiceServer
 from .sharding import SHARDING_STRATEGIES, ShardAssigner, partition_keys, stable_hash
 from .worker import InstancePayload
 
@@ -37,7 +45,12 @@ __all__ = [
     "EvaluationService",
     "InstancePayload",
     "PipeTransport",
+    "RemoteBackend",
+    "RemoteEvaluationService",
     "SHARDING_STRATEGIES",
+    "ServerError",
+    "ServiceClient",
+    "ServiceServer",
     "ShardAssigner",
     "ShardFailedError",
     "ShardedSQLiteBackend",
@@ -48,5 +61,6 @@ __all__ = [
     "default_shard_count",
     "encode_frame",
     "partition_keys",
+    "payload_content_hash",
     "stable_hash",
 ]

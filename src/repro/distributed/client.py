@@ -1,0 +1,466 @@
+"""Client side of the persistent evaluation server.
+
+Three layers, each usable on its own:
+
+* :class:`ServiceClient` — one socket connection to a
+  :class:`~repro.distributed.server.ServiceServer`; request/reply with the
+  worker protocol's ``ok``/``error`` convention (server-side exceptions
+  surface as :class:`ServerError` with the remote traceback).
+* :class:`RemoteEvaluationService` — the per-instance facade that speaks
+  the :class:`~repro.distributed.service.EvaluationService` batch API
+  (``covered_examples_batch`` / ``materialize_saturations`` /
+  ``covered_candidates_batch``) but evaluates on the server's warm fleet.
+  It owns the **content-hash registration dance**: before the first batch
+  (and after any local mutation) it hashes the instance payload, probes the
+  server with ``register``, and ships the payload only when the server does
+  not already hold that exact version — so a repeat run over unchanged data
+  costs one small register round-trip instead of a full payload ship
+  (``reloads_full`` stays 0).
+* :class:`RemoteBackend` — the ``"sqlite-remote"`` registry backend:
+  pooled SQLite storage locally (mutations, direct queries, fallbacks all
+  work offline) while every *batched* evaluation routes to the server
+  through the same ``coverage_service()`` seam the sharded backend uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..database.backend import warn_once
+from .backend import ShardedSQLiteBackend
+from .protocol import (
+    TransportError,
+    UnknownHandleError,  # noqa: F401 - re-exported: the recovery contract
+    connect as connect_transport,
+)
+from .worker import SATURATION_SPEC_KINDS, SPEC_KINDS, InstancePayload
+
+Row = Tuple[object, ...]
+
+_UNSYNCED = object()
+
+
+class ServerError(RuntimeError):
+    """An exception raised inside the server (deterministic; not retried)."""
+
+    def __init__(self, kind: str, message: str, remote_traceback: str):
+        super().__init__(f"evaluation server raised {kind}: {message}")
+        self.kind = kind
+        self.remote_traceback = remote_traceback
+
+
+def payload_content_hash(payload: InstancePayload) -> str:
+    """Deterministic content hash of an instance payload.
+
+    Stable across processes and interpreter launches (``PYTHONHASHSEED``
+    cannot perturb it): rows are sorted per relation by ``repr`` and hashed
+    together with the relation names and the schema's constraint set.  Two
+    runs over the same data — today, tomorrow, from different client
+    processes — therefore produce the same version string, which is exactly
+    what lets the server skip the payload re-ship.
+    """
+    digest = hashlib.sha256()
+    digest.update(payload.backend.encode())
+    for name in sorted(payload.rows):
+        digest.update(b"\x00R\x00" + name.encode())
+        for row in sorted(payload.rows[name], key=repr):
+            digest.update(repr(row).encode() + b"\x00")
+    schema = payload.schema
+    relations = sorted(
+        (r.name, tuple(str(a) for a in r.attributes)) for r in schema.relations
+    )
+    digest.update(repr(relations).encode())
+    digest.update(repr(sorted(repr(fd) for fd in schema.functional_dependencies)).encode())
+    digest.update(repr(sorted(repr(ind) for ind in schema.inclusion_dependencies)).encode())
+    return digest.hexdigest()
+
+
+class ServiceClient:
+    """One connection to a persistent evaluation server."""
+
+    def __init__(self, address: str, timeout: float = 10.0):
+        self.address = str(address)
+        self._transport = connect_transport(self.address, timeout=timeout)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, kind: str, payload: object = None) -> object:
+        """One request/reply round-trip (thread-safe, serialized)."""
+        with self._lock:
+            if self._closed:
+                raise TransportError(
+                    f"client to {self.address} is closed"
+                )
+            self._transport.send((kind, payload))
+            status, reply = self._transport.recv()
+        if status == "ok":
+            return reply
+        error_kind, message, remote_traceback = reply
+        raise ServerError(error_kind, message, remote_traceback)
+
+    def ping(self) -> bool:
+        return self.request("ping") == "pong"
+
+    def hello(self) -> Dict[str, object]:
+        return self.request("hello")
+
+    def server_stats(self, handle: Optional[str] = None) -> Dict[str, object]:
+        return self.request("stats", handle)
+
+    def unregister(self, handle: str) -> bool:
+        return bool(self.request("unregister", handle))
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (admin/tests; trusted peers only)."""
+        try:
+            self.request("shutdown_server")
+        except TransportError:
+            pass  # server may drop the connection while acking
+
+    def close(self) -> None:
+        """Close the connection; idempotent.  Server state stays warm."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"ServiceClient({self.address!r}, {state})"
+
+
+class RemoteEvaluationService:
+    """`EvaluationService`-shaped facade evaluating on a persistent server.
+
+    Drop-in for the batch entry points the engines probe
+    (:class:`~repro.learning.coverage.BatchCoverageEngine` and
+    :class:`~repro.learning.bottom_clause.BatchSaturationEngine` cannot
+    tell whether ``backend.coverage_service()`` handed them a local
+    coordinator or this).  ``reloads_full`` counts payloads *this client*
+    shipped — the number the warm-run acceptance gate asserts to be zero
+    on a repeat run.
+    """
+
+    def __init__(self, client: ServiceClient, payload_fn, token_fn, handle=None):
+        self.client = client
+        self._payload_fn = payload_fn
+        self._token_fn = token_fn
+        self._handle_override = handle
+        self.handle: Optional[str] = None
+        self._content_hash: Optional[str] = None
+        self._synced_token: object = _UNSYNCED
+        self._lock = threading.Lock()
+        self.reloads_full = 0
+        self.reloads_incremental = 0  # parity with EvaluationService counters
+        self.register_hits = 0
+        self.batches_served = 0
+        self.version_conflicts = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration (content-hash data versions)
+    # ------------------------------------------------------------------ #
+    def _ensure_registered(self) -> str:
+        """Sync the server to the instance's current contents; cheap when
+        nothing changed locally (one token compare, no hashing, no I/O)."""
+        with self._lock:
+            token = self._token_fn()
+            if token == self._synced_token and self.handle is not None:
+                return self.handle
+            payload = self._payload_fn()
+            content_hash = payload_content_hash(payload)
+            # Named handles are content-qualified namespaces: distinct
+            # datasets under one name land on distinct handles regardless
+            # of registration order, so two processes sharing a name can
+            # never ping-pong one handle between data versions.
+            if self._handle_override:
+                handle = f"{self._handle_override}:{content_hash[:12]}"
+            else:
+                handle = f"auto-{content_hash[:16]}"
+            # Retry the register/load dance once: the handle can be lost
+            # between the two round-trips (another session retiring a
+            # shared handle, LRU eviction under pressure) — re-registering
+            # lands on a fresh server-side instance.
+            for attempt in (0, 1):
+                reply = self.client.request("register", (handle, content_hash))
+                if not reply["needs_payload"]:
+                    self.register_hits += 1
+                    break
+                try:
+                    self.client.request("load", (handle, content_hash, payload))
+                    self.reloads_full += 1
+                    break
+                except ServerError as exc:
+                    if exc.kind != "UnknownHandleError" or attempt:
+                        raise
+            superseded = self.handle
+            self.handle = handle
+            self._content_hash = content_hash
+            self._synced_token = token
+            if superseded is not None and superseded != handle:
+                # This session's data moved on, so its old content-
+                # qualified handle (and that handle's warm fleet) is
+                # retired instead of idling until LRU eviction.  Another
+                # session still on it simply re-registers (one re-ship).
+                try:
+                    self.client.request("unregister", superseded)
+                except (ServerError, TransportError):
+                    pass  # best-effort hygiene; LRU eviction is the backstop
+            return handle
+
+    def _batch_request(self, kind: str, payload_for) -> object:
+        """One registered batch round-trip, recovering from handle loss.
+
+        The server may evict an idle handle (LRU past ``--max-instances``),
+        an operator may unregister it, or another client sharing the handle
+        may have loaded a *different* data version; the local token has not
+        moved in any of those cases, so :meth:`_ensure_registered` alone
+        would never notice.  Every batch therefore carries this client's
+        content hash (the server rejects a mismatch instead of answering
+        from foreign data), and an unknown-handle/-version error forces one
+        re-registration — which re-ships the payload — and retries once.
+        """
+        handle = self._ensure_registered()
+        try:
+            return self.client.request(
+                kind, payload_for(handle, self._content_hash)
+            )
+        except ServerError as exc:
+            # Structured match on the wire-crossing exception type — the
+            # message prose is free to change.
+            if exc.kind != "UnknownHandleError":
+                raise
+            with self._lock:
+                self._synced_token = _UNSYNCED
+                self.version_conflicts += 1
+                if self.version_conflicts >= 2:
+                    # One recovery is normal (an eviction, an operator
+                    # unregister); repeated ones mean the handle keeps
+                    # disappearing — most often server-side LRU churn past
+                    # --max-instances — and every recovery re-ships the
+                    # full payload.
+                    warn_once(
+                        f"instance handle {handle!r} keeps being evicted "
+                        f"or re-loaded on the server; every recovery "
+                        f"re-ships the full payload — raise the server's "
+                        f"--max-instances (or reduce the number of "
+                        f"distinct datasets sharing it)"
+                    )
+            handle = self._ensure_registered()
+            return self.client.request(
+                kind, payload_for(handle, self._content_hash)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Batch API (mirrors EvaluationService)
+    # ------------------------------------------------------------------ #
+    def covered_examples_batch(
+        self,
+        spec: Tuple[object, ...],
+        clauses: Sequence[object],
+        examples: Sequence[object],
+        parallelism: int = 1,
+    ) -> List[List[object]]:
+        if not spec or spec[0] not in SPEC_KINDS:
+            raise ValueError(
+                f"unknown engine spec kind {spec[0] if spec else spec!r}; "
+                f"available: {list(SPEC_KINDS)}"
+            )
+        clause_list = list(clauses)
+        example_list = list(examples)
+        if not clause_list:
+            return []
+        if not example_list:
+            return [[] for _ in clause_list]
+        indices = self._batch_request(
+            "coverage_batch",
+            lambda handle, content_hash: (
+                handle, content_hash, spec, clause_list, example_list,
+                max(1, int(parallelism)),
+            ),
+        )
+        self.batches_served += 1
+        return [[example_list[i] for i in per_clause] for per_clause in indices]
+
+    def materialize_saturations(
+        self,
+        spec: Tuple[object, ...],
+        examples: Sequence[object],
+        variablize: bool = False,
+        parallelism: int = 1,
+    ) -> List[object]:
+        if not spec or spec[0] not in SATURATION_SPEC_KINDS:
+            raise ValueError(
+                f"unknown saturation spec kind {spec[0] if spec else spec!r}; "
+                f"available: {list(SATURATION_SPEC_KINDS)}"
+            )
+        example_list = list(examples)
+        if not example_list:
+            return []
+        clauses = self._batch_request(
+            "materialize_saturations",
+            lambda handle, content_hash: (
+                handle, content_hash, spec, example_list, bool(variablize),
+                max(1, int(parallelism)),
+            ),
+        )
+        self.batches_served += 1
+        return clauses
+
+    def covered_candidates_batch(
+        self,
+        clauses: Sequence[object],
+        candidates: Sequence[Sequence[object]],
+        parallelism: int = 1,
+    ) -> List[Set[Row]]:
+        clause_list = list(clauses)
+        candidate_list = [tuple(c) for c in candidates]
+        if not clause_list:
+            return []
+        if not candidate_list:
+            return [set() for _ in clause_list]
+        covered = self._batch_request(
+            "query_batch",
+            lambda handle, content_hash: (
+                handle, content_hash, clause_list, candidate_list,
+                max(1, int(parallelism)),
+            ),
+        )
+        self.batches_served += 1
+        return [set(per_clause) for per_clause in covered]
+
+    def stats(self) -> Optional[Dict[str, object]]:
+        """Server-side stats for this instance's handle.
+
+        ``None`` until the first batch registers it — introspection must
+        never itself ship a payload or spawn a fleet.
+        """
+        if self.handle is None:
+            return None
+        return self.client.server_stats(self.handle)
+
+    def close(self) -> None:
+        """Nothing to tear down: the server-side fleet deliberately stays
+        warm for the next run (that is the point of the server)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteEvaluationService({self.client.address!r}, "
+            f"handle={self.handle!r}, shipped={self.reloads_full})"
+        )
+
+
+class RemoteBackend(ShardedSQLiteBackend):
+    """``"sqlite-remote"``: local pooled storage, server-side evaluation.
+
+    Inherits storage, compiled single-statement evaluation, the snapshot
+    read pool, and payload assembly from the sharded backend — but instead
+    of spawning a local worker fleet, ``coverage_service()`` hands the
+    batch engines a :class:`RemoteEvaluationService` bound to a persistent
+    server.  The local pool still answers anything the batch seam does not
+    route (direct queries, non-batched fallbacks), so an instance on this
+    backend works offline for everything except batched coverage.
+    """
+
+    name = "sqlite-remote"
+
+    def __init__(
+        self,
+        connection=None,
+        pool_size: Optional[int] = None,
+        address: Optional[str] = None,
+        client: Optional[ServiceClient] = None,
+        handle: Optional[str] = None,
+    ):
+        super().__init__(connection, pool_size)
+        self._address = address
+        self._client = client
+        self._owns_client = client is None
+        self._handle = handle
+        self._remote: Optional[RemoteEvaluationService] = None
+
+    def configure_remote(
+        self,
+        address: Optional[str] = None,
+        client: Optional[ServiceClient] = None,
+        handle: Optional[str] = None,
+    ) -> None:
+        """Bind the backend to a server before its first batch."""
+        if self._remote is not None:
+            raise RuntimeError(
+                "remote evaluation is already connected; configure_remote() "
+                "must run before the first batch"
+            )
+        if address is not None:
+            self._address = str(address)
+        if client is not None:
+            self._client = client
+            self._owns_client = False
+        if handle is not None:
+            self._handle = str(handle)
+
+    def configure_sharding(self, shards=None, strategy=None, transport=None) -> None:
+        """The worker fleet lives on the server; its topology is fixed there."""
+        if shards is None and strategy is None and transport is None:
+            return
+        warn_once(
+            "the 'sqlite-remote' backend evaluates on a persistent server "
+            "whose shard topology is fixed at server start; ignoring "
+            f"shards={shards}"
+        )
+
+    def coverage_service(self) -> RemoteEvaluationService:
+        if self._remote is None:
+            if self._client is None:
+                if self._address is None:
+                    raise RuntimeError(
+                        "the 'sqlite-remote' backend has no server to talk "
+                        "to; call configure_remote(address='HOST:PORT') or "
+                        "build the instance through "
+                        "LearningSession.connect(address)"
+                    )
+                self._client = ServiceClient(self._address)
+                self._owns_client = True
+            self._remote = RemoteEvaluationService(
+                self._client,
+                payload_fn=self._payload,
+                token_fn=self._pool_state,
+                handle=self._handle,
+            )
+        return self._remote
+
+    @property
+    def remote_service(self) -> Optional[RemoteEvaluationService]:
+        """The facade, if a batch has forced the connection yet."""
+        return self._remote
+
+    def close(self) -> None:
+        """Close the local pool and (when owned) the client connection.
+
+        Never touches server state: registered instances and their worker
+        fleets stay warm for the next session by design.
+        """
+        if self._client is not None and self._owns_client:
+            self._client.close()
+            self._client = None
+        self._remote = None
+        # The inherited teardown (finalizer detach, local service shutdown,
+        # pool close) stays in one place.
+        super().close()
+
+    def __repr__(self) -> str:
+        target = self._address or (
+            self._client.address if self._client else None
+        )
+        return (
+            f"RemoteBackend({len(self._relations)} relations, "
+            f"server={target!r}, handle={self._handle!r})"
+        )

@@ -32,6 +32,20 @@ class TransportError(ConnectionError):
     """The peer went away (closed pipe/socket, dead process, reset)."""
 
 
+class UnknownHandleError(KeyError):
+    """A persistent-server request named a handle (or data version) the
+    server does not hold.
+
+    Defined here — not in the server module — because the *type name* is
+    the wire contract: server-side exceptions cross as ``(type, message,
+    traceback)`` and the client recovers (re-registers, re-ships) exactly
+    when the type is this one, never by matching message prose.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
 def encode_frame(message: object) -> bytes:
     """Serialize one message into a length-prefixed pickle frame."""
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)

@@ -1,0 +1,476 @@
+"""The persistent evaluation server: one warm service outliving many runs.
+
+``python -m repro.distributed.service --serve HOST:PORT`` runs a
+:class:`ServiceServer`: a long-lived process that owns worker fleets,
+coverage engines, and saturation stores and serves them to any number of
+learning runs.  Where the in-process :class:`~repro.distributed.service.EvaluationService`
+dies with the run that spawned it (every run pays spawn + payload-ship +
+saturation-warm-up again), the server keeps everything warm:
+
+* clients **register instances under named handles** with a content hash of
+  the data; a repeat run (or the next cross-validation fold, or another
+  user's session over the same dataset) whose hash matches the registered
+  one ships **no payload at all** and lands directly on the warm fleet;
+* each handle owns one :class:`EvaluationService` (spawned at first load,
+  reused forever after), so worker processes and their per-engine
+  saturation stores survive across runs and across client connections;
+* multiple concurrent sessions share the server: connections are served by
+  one thread each, batches on *different* handles run in parallel, batches
+  on the *same* handle serialize on that handle's lock (the underlying
+  service fan-out is already concurrent internally).
+
+The wire format is the same length-prefixed pickle framing the shard
+workers speak (:mod:`repro.distributed.protocol`), with the same trust
+model: pickle frames, trusted clients, trusted networks only.
+
+Clients normally do not speak this protocol directly — they use
+:class:`repro.session.LearningSession.connect` (or, one level down,
+:class:`repro.distributed.client.ServiceClient`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+import traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+from .protocol import SocketTransport, TransportError, UnknownHandleError
+from .service import TRANSPORTS, EvaluationService
+from .sharding import DEFAULT_STRATEGY, SHARDING_STRATEGIES
+
+Row = Tuple[object, ...]
+
+
+class ServedInstance:
+    """One registered instance: payload version + its warm worker fleet."""
+
+    def __init__(self, handle: str):
+        self.handle = str(handle)
+        self.content_hash: Optional[str] = None
+        self.payload = None
+        self.service: Optional[EvaluationService] = None
+        # Serializes batches per handle; the service's own fan-out is
+        # concurrent internally, but its sticky assigner and reload check
+        # are not safe under interleaved batches from two connections.
+        self.lock = threading.RLock()
+        self.loads = 0
+        self.batches = 0
+        self.register_hits = 0
+        self.last_used = 0
+        self.closed = False
+
+    def close(self) -> None:
+        # The closed flag guards the unregister/evict race: a batch that
+        # fetched this object before removal and then acquires the lock
+        # must not respawn a fleet nothing tracks anymore.  The payload is
+        # dropped too, so a closed orphan can never look loadable or warm.
+        self.closed = True
+        self.payload = None
+        self.content_hash = None
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+
+    def stats(self) -> Dict[str, object]:
+        service = self.service
+        return {
+            "handle": self.handle,
+            "content_hash": self.content_hash,
+            "loads": self.loads,
+            "batches": self.batches,
+            "register_hits": self.register_hits,
+            "reloads_full": service.reloads_full if service else 0,
+            "reloads_incremental": (
+                service.reloads_incremental if service else 0
+            ),
+            "worker_pids": service.worker_pids() if service else [],
+        }
+
+
+class ServiceServer:
+    """Accept loop + handle registry of the persistent evaluation server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: Optional[int] = None,
+        strategy: str = DEFAULT_STRATEGY,
+        transport: str = "pipe",
+        max_instances: int = 32,
+    ):
+        if strategy not in SHARDING_STRATEGIES:
+            raise ValueError(
+                f"unknown sharding strategy {strategy!r}; "
+                f"available: {list(SHARDING_STRATEGIES)}"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; available: {list(TRANSPORTS)}"
+            )
+        self.shards = shards
+        self.strategy = strategy
+        self.transport = transport
+        self.max_instances = max(1, int(max_instances))
+        self._instances: Dict[str, ServedInstance] = {}
+        self._lock = threading.Lock()
+        self._use_counter = itertools.count(1)
+        self._shutdown = threading.Event()
+        self.payloads_received = 0
+        self.connections_served = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, int(port)))
+        self._listener.listen(16)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> str:
+        host, port = self._listener.getsockname()
+        return f"{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Accept client connections until :meth:`shutdown`."""
+        self._listener.settimeout(0.5)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    conn, _peer = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listener closed under us by shutdown()
+                conn.settimeout(None)
+                self.connections_served += 1
+                # Daemon threads, deliberately untracked: a connection
+                # lives until its client disconnects (or process exit);
+                # shutdown() closes the fleets, not the idle sockets.
+                threading.Thread(
+                    target=self._client_loop,
+                    args=(SocketTransport(conn),),
+                    daemon=True,
+                    name=f"repro-server-client-{self.connections_served}",
+                ).start()
+        finally:
+            self._close_all()
+
+    def start_in_thread(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (tests, embedding)."""
+        thread = threading.Thread(
+            target=self.serve_forever, daemon=True, name="repro-server-accept"
+        )
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop accepting, drop every client, and close every fleet."""
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def _close_all(self) -> None:
+        with self._lock:
+            served_list = list(self._instances.values())
+            self._instances.clear()
+        for served in served_list:
+            with served.lock:
+                served.close()
+
+    # ------------------------------------------------------------------ #
+    # Handle registry
+    # ------------------------------------------------------------------ #
+    def _touch(self, served: ServedInstance) -> ServedInstance:
+        served.last_used = next(self._use_counter)
+        return served
+
+    def _get(self, handle: str) -> ServedInstance:
+        with self._lock:
+            served = self._instances.get(handle)
+        if served is None:
+            raise UnknownHandleError(
+                f"unknown instance handle {handle!r}; register it first"
+            )
+        return self._touch(served)
+
+    def _get_or_create(self, handle: str) -> ServedInstance:
+        victims: List[ServedInstance] = []
+        with self._lock:
+            served = self._instances.get(handle)
+            if served is None:
+                victims = self._pop_lru_victims_locked()
+                served = self._instances[handle] = ServedInstance(handle)
+        # Fleet teardown can take seconds; do it OUTSIDE the registry lock
+        # so one new registration never stalls every in-flight session.
+        # Each victim's own lock was acquired (non-blocking) under the
+        # registry lock, so no batch is mid-flight on it.
+        for victim in victims:
+            try:
+                victim.close()
+            finally:
+                victim.lock.release()
+        return self._touch(served)
+
+    def _pop_lru_victims_locked(self) -> List[ServedInstance]:
+        """Remove least-recently-used idle handles down to the cap.
+
+        Returns the removed instances with their locks held; the caller
+        closes them after releasing the registry lock.  Handles mid-batch
+        (lock held elsewhere) are skipped — the registry then grows past
+        the soft cap instead of blocking.
+        """
+        victims: List[ServedInstance] = []
+        while len(self._instances) >= self.max_instances:
+            for candidate in sorted(
+                self._instances.values(), key=lambda s: s.last_used
+            ):
+                if candidate.lock.acquire(blocking=False):
+                    del self._instances[candidate.handle]
+                    victims.append(candidate)
+                    break
+            else:
+                break  # everything busy
+        return victims
+
+    def _service_for(self, served: ServedInstance) -> EvaluationService:
+        if served.closed:
+            # Phrased like the registry miss so clients recover the same
+            # way: re-register (which creates a fresh ServedInstance).
+            raise UnknownHandleError(
+                f"unknown instance handle {served.handle!r}; it was "
+                f"unregistered or evicted while a request was in flight"
+            )
+        if served.payload is None:
+            raise RuntimeError(
+                f"instance handle {served.handle!r} was registered but no "
+                f"payload has been loaded yet"
+            )
+        if served.service is None:
+            served.service = EvaluationService(
+                payload_fn=lambda: served.payload,
+                shards=self.shards,
+                strategy=self.strategy,
+                transport=self.transport,
+                state_token_fn=lambda: served.content_hash,
+            )
+            served.service.start()
+        return served.service
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+    def handle_ping(self, _payload) -> str:
+        return "pong"
+
+    def handle_hello(self, _payload) -> Dict[str, object]:
+        with self._lock:
+            handles = list(self._instances)
+        return {
+            "pid": os.getpid(),
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "handles": handles,
+        }
+
+    def handle_register(self, payload) -> Dict[str, object]:
+        """Probe a (handle, content hash) pair: is a payload ship needed?
+
+        Content-hash data versioning is what makes repeat runs free: when
+        the registered hash matches, the client skips the payload entirely
+        and the warm fleet (including every saturation its workers have
+        materialized) serves the new run as-is.
+        """
+        handle, content_hash = payload
+        served = self._get_or_create(handle)
+        with served.lock:
+            warm = (
+                served.content_hash == content_hash
+                and served.payload is not None
+            )
+            if warm:
+                served.register_hits += 1
+            return {
+                "needs_payload": not warm,
+                "known": served.content_hash is not None,
+            }
+
+    def handle_load(self, payload) -> Dict[str, object]:
+        """Install (or replace) a handle's payload and warm its fleet."""
+        handle, content_hash, instance_payload = payload
+        served = self._get_or_create(handle)
+        with served.lock:
+            served.payload = instance_payload
+            served.content_hash = content_hash
+            served.loads += 1
+            self.payloads_received += 1
+            service = self._service_for(served)
+            # An already-running fleet sees the hash change through its
+            # state token and full-reloads on the next batch; forcing the
+            # sync here keeps "load" = "workers current" for the client.
+            service._ensure_ready()
+            tuples = sum(len(r) for r in instance_payload.rows.values())
+        return {"handle": handle, "tuples": tuples, "loads": served.loads}
+
+    def _check_version(
+        self, served: ServedInstance, content_hash: Optional[str]
+    ) -> None:
+        """Reject a batch whose data version is not the one served.
+
+        Two clients sharing one explicit handle with *different* data would
+        otherwise silently evaluate against whichever payload loaded last.
+        The error is phrased like the registry miss so the client recovers
+        identically: re-register (re-shipping its own payload) and retry.
+        """
+        if content_hash is not None and served.content_hash != content_hash:
+            raise UnknownHandleError(
+                f"unknown instance handle version on {served.handle!r}: the "
+                f"server holds a different data version; re-register"
+            )
+
+    def handle_coverage_batch(self, payload) -> List[List[int]]:
+        """Subsumption/Castor coverage; returns global index lists per clause."""
+        handle, content_hash, spec, clauses, examples, parallelism = payload
+        served = self._get(handle)
+        with served.lock:
+            self._check_version(served, content_hash)
+            service = self._service_for(served)
+            covered_lists = service.covered_examples_batch(
+                spec, clauses, examples, parallelism=max(1, int(parallelism))
+            )
+            served.batches += 1
+        # One example->positions map instead of rescanning all examples per
+        # clause; duplicates of an example share coverage, so every one of
+        # its positions is emitted (identical to the per-clause scan).
+        positions: Dict[object, List[int]] = {}
+        for index, example in enumerate(examples):
+            positions.setdefault(example, []).append(index)
+        indices: List[List[int]] = []
+        for covered in covered_lists:
+            per_clause: List[int] = []
+            for example in dict.fromkeys(covered):
+                per_clause.extend(positions[example])
+            per_clause.sort()
+            indices.append(per_clause)
+        return indices
+
+    def handle_materialize_saturations(self, payload) -> List[object]:
+        handle, content_hash, spec, examples, variablize, parallelism = payload
+        served = self._get(handle)
+        with served.lock:
+            self._check_version(served, content_hash)
+            service = self._service_for(served)
+            clauses = service.materialize_saturations(
+                spec,
+                examples,
+                variablize=bool(variablize),
+                parallelism=max(1, int(parallelism)),
+            )
+            served.batches += 1
+        return clauses
+
+    def handle_query_batch(self, payload) -> List[Set[Row]]:
+        handle, content_hash, clauses, candidates, parallelism = payload
+        served = self._get(handle)
+        with served.lock:
+            self._check_version(served, content_hash)
+            service = self._service_for(served)
+            covered = service.covered_candidates_batch(
+                clauses, candidates, parallelism=max(1, int(parallelism))
+            )
+            served.batches += 1
+        return covered
+
+    def handle_stats(self, payload) -> Dict[str, object]:
+        handle = payload
+        if handle is not None:
+            return self._get(handle).stats()
+        with self._lock:
+            served_list = list(self._instances.values())
+        return {
+            "pid": os.getpid(),
+            "payloads_received": self.payloads_received,
+            "connections_served": self.connections_served,
+            "instances": {s.handle: s.stats() for s in served_list},
+        }
+
+    def handle_unregister(self, payload) -> bool:
+        handle = payload
+        with self._lock:
+            served = self._instances.pop(handle, None)
+        if served is None:
+            return False
+        with served.lock:
+            served.close()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Connection loop
+    # ------------------------------------------------------------------ #
+    def _client_loop(self, transport: SocketTransport) -> None:
+        """Serve one client connection until it disconnects.
+
+        Mirrors the shard worker's loop: replies are ``("ok", result)`` or
+        ``("error", (type, message, traceback))``; an exception in a handler
+        never kills the server.  Client loss only ends the connection — the
+        registered instances and their fleets stay warm for the next one.
+        """
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    message = transport.recv()
+                except TransportError:
+                    break
+                try:
+                    kind, payload = message
+                except (TypeError, ValueError) as exc:
+                    # A malformed frame gets an error reply like any other
+                    # bad input instead of silently killing the connection.
+                    try:
+                        transport.send((
+                            "error",
+                            (
+                                type(exc).__name__,
+                                f"malformed request frame: {exc}",
+                                traceback.format_exc(),
+                            ),
+                        ))
+                    except TransportError:
+                        break
+                    continue
+                if kind == "shutdown_server":
+                    try:
+                        transport.send(("ok", None))
+                    except TransportError:
+                        pass
+                    self.shutdown()
+                    break
+                handler = getattr(self, f"handle_{kind}", None)
+                try:
+                    if handler is None:
+                        raise ValueError(f"unknown request kind {kind!r}")
+                    reply = ("ok", handler(payload))
+                except Exception as exc:  # noqa: BLE001 - forwarded to client
+                    reply = (
+                        "error",
+                        (type(exc).__name__, str(exc), traceback.format_exc()),
+                    )
+                try:
+                    transport.send(reply)
+                except TransportError:
+                    break
+        finally:
+            transport.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            count = len(self._instances)
+        return (
+            f"ServiceServer({self.address}, {count} instances, "
+            f"shards={self.shards}, {self.strategy!r})"
+        )

@@ -30,9 +30,9 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from .protocol import SocketTransport, PipeTransport, TransportError, connect
-from .sharding import DEFAULT_STRATEGY, ShardAssigner, SHARDING_STRATEGIES
-from .worker import (
+from ..protocol import SocketTransport, PipeTransport, TransportError, connect
+from ..sharding import DEFAULT_STRATEGY, ShardAssigner, SHARDING_STRATEGIES
+from ..worker import (
     SATURATION_SPEC_KINDS,
     SPEC_KINDS,
     InstancePayload,
@@ -640,3 +640,68 @@ class EvaluationService:
             f"EvaluationService({self.shards} shards, {self.strategy!r}, "
             f"{self.transport!r}, {state})"
         )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.distributed.service --serve HOST:PORT``.
+
+    Runs the **persistent evaluation server**
+    (:class:`~repro.distributed.server.ServiceServer`): worker fleets,
+    engines, and saturation stores stay warm across any number of learning
+    runs; clients connect with ``LearningSession.connect(address)`` and
+    register instances under content-hashed handles so repeat runs ship no
+    payload.  See ``docs/session.md``.
+    """
+    import argparse
+
+    from ..server import ServiceServer
+
+    parser = argparse.ArgumentParser(
+        description="persistent evaluation server for repro learning sessions"
+    )
+    parser.add_argument(
+        "--serve", metavar="HOST:PORT", required=True,
+        help="listen for learning sessions on this address "
+             "(port 0 picks a free port, printed on startup)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="worker processes per registered instance "
+             "(default: one per core, capped at 4)",
+    )
+    parser.add_argument(
+        "--strategy", default=DEFAULT_STRATEGY,
+        choices=sorted(SHARDING_STRATEGIES),
+        help="example-sharding strategy for the worker fleets",
+    )
+    parser.add_argument(
+        "--worker-transport", default="pipe", choices=TRANSPORTS,
+        help="transport between the server and its local workers",
+    )
+    parser.add_argument(
+        "--max-instances", type=int, default=32,
+        help="registered-instance cap; least-recently-used idle handles "
+             "are evicted beyond it",
+    )
+    args = parser.parse_args(argv)
+    from ..protocol import parse_address
+
+    host, port = parse_address(args.serve)
+    server = ServiceServer(
+        host,
+        port,
+        shards=args.shards,
+        strategy=args.strategy,
+        transport=args.worker_transport,
+        max_instances=args.max_instances,
+    )
+    print(
+        f"repro evaluation server pid={os.getpid()} listening on "
+        f"{server.address}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+    return 0

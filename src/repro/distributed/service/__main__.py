@@ -1,0 +1,14 @@
+"""``python -m repro.distributed.service`` — the persistent server CLI.
+
+A real ``__main__`` module (rather than an ``if __name__`` guard in the
+package body): the package is imported by ``repro.distributed.__init__``,
+so runpy would otherwise re-execute the module it already imported and
+warn about unpredictable behaviour on every server start.
+"""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -9,23 +9,28 @@ The harness drives the paper's Section 9 methodology:
    *outputs* across variants (do the learned definitions return the same
    result relation on corresponding instances?) — the direct empirical test
    of schema independence.
+
+Every entry point runs on the **session API**
+(:class:`~repro.session.session.LearningSession` /
+:class:`~repro.session.config.SessionConfig`): pass ``session=`` to share
+one session — and therefore one set of prepared instances, warm evaluation
+services, and saturation stores — across many calls, or keep passing the
+legacy ``backend=``/``parallelism=``/``shards=`` keywords and the harness
+wraps them in a per-call session for you.
 """
 
 from __future__ import annotations
 
-import statistics
 import time
 import warnings
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..database.backend import configure_backend_sharding
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
-from ..database.sqlite_backend import SaturationStore
-from ..datasets.base import DatasetBundle
 from ..learning.evaluation import CrossValidationReport, cross_validate, evaluate_definition
-from ..learning.examples import ExampleSet
 from ..logic.clauses import HornDefinition
+from ..session.config import SessionConfig, warn_once as _warn_once
+from ..session.session import LearningSession
 from ..transform.equivalence import definition_results
 
 LearnerFactory = Callable[[Schema], object]
@@ -45,95 +50,60 @@ class LearnerSpec:
         return f"LearnerSpec({self.name!r})"
 
 
-# Best-effort knobs stay best-effort (the harness drives heterogeneous
-# learner line-ups), but silently ignoring an explicit setting hides typos
-# and wasted configuration — say so once per distinct situation.
-_warned_knobs: Set[str] = set()
+# --------------------------------------------------------------------- #
+# Deprecated per-knob helpers (kept as thin shims over the single
+# SessionConfig.apply normalization path)
+# --------------------------------------------------------------------- #
+_deprecation_warned = False
 
 
-def _warn_once(message: str) -> None:
-    if message in _warned_knobs:
+def _warn_knob_helpers_deprecated() -> None:
+    global _deprecation_warned
+    if _deprecation_warned:
         return
-    _warned_knobs.add(message)
-    warnings.warn(message, RuntimeWarning, stacklevel=3)
+    _deprecation_warned = True
+    warnings.warn(
+        "_apply_parallelism/_apply_shards are deprecated; "
+        "SessionConfig(...).apply(learner, instance=...) is the single "
+        "normalization path (see docs/session.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _apply_parallelism(learner: object, parallelism: Optional[int]) -> object:
-    """Set the clause-scoring fan-out on learners that expose the knob.
+    """Deprecated: use :meth:`SessionConfig.apply`.
 
-    Learners without a ``parallelism`` attribute (e.g. Golem/Progol) are
-    returned unchanged; the first time that happens for a learner class the
-    harness warns, so an explicitly requested fan-out is never ignored
-    silently.
+    Kept as a shim so older call sites keep working; the warn-once
+    best-effort semantics live in :meth:`SessionConfig.apply` now.
     """
     if parallelism is None:
         return learner
-    if hasattr(learner, "parallelism"):
-        learner.parallelism = parallelism
-    else:
-        _warn_once(
-            f"learner {type(learner).__name__} has no 'parallelism' knob; "
-            f"ignoring parallelism={parallelism}"
-        )
-    return learner
+    _warn_knob_helpers_deprecated()
+    return SessionConfig(parallelism=parallelism).apply(learner)
 
 
 def _apply_shards(instance: DatabaseInstance, shards: Optional[int]) -> None:
-    """Set the worker count on instances whose backend is sharded.
+    """Deprecated: use :meth:`SessionConfig.apply`.
 
-    Mirrors :func:`_apply_parallelism`: best-effort, but an explicit
-    ``shards=`` on a backend without a sharded evaluation service warns
-    once instead of vanishing.  One shared probe
-    (:func:`~repro.database.backend.configure_backend_sharding`) backs the
-    harness, the learners, and the benchmarks, so the behavior is uniform.
+    Kept as a shim so older call sites keep working; warns once (via the
+    shared :func:`~repro.database.backend.configure_backend_sharding`
+    probe) when the instance's backend has no sharded service.
     """
-    configure_backend_sharding(instance.backend, shards)
-
-
-def _presaturate(learner: object, instance: DatabaseInstance, examples) -> None:
-    """Warm the learner's shared saturation store for the whole example set.
-
-    Builds the learner's coverage engine once and materializes every
-    example's saturation through the batched entry point — one call, fanned
-    across the worker fleet on sharded backends — so cross-validation folds
-    start from a warm store instead of each fold saturating its own split
-    lazily.  A no-op for learners without a coverage-engine factory or
-    engines without batched materialization (e.g. FOIL's query coverage).
-    """
-    make_engine = getattr(learner, "make_coverage_engine", None)
-    if make_engine is None:
-        _warn_once(
-            f"learner {type(learner).__name__} has no coverage-engine "
-            "factory; ignoring presaturate=True"
-        )
+    if shards is None:
         return
-    engine = make_engine(instance)
-    materialize = getattr(engine, "materialize", None)
-    if materialize is None or not getattr(engine, "compiled_enabled", False):
-        # Without the compiled store the warm-up would only fill this
-        # throwaway engine's private cache — skip instead of double-paying.
-        _warn_once(
-            f"presaturate=True has no shared store to warm on "
-            f"{type(engine).__name__} (backend "
-            f"{getattr(instance, 'backend_name', '?')!r}); ignoring it"
+    _warn_knob_helpers_deprecated()
+    SessionConfig(shards=shards).apply(instance=instance)
+
+
+def _reject_knobs_with_session(**knobs: object) -> None:
+    """Per-call knobs and an explicit session cannot both win — say so."""
+    set_knobs = {name: value for name, value in knobs.items() if value is not None}
+    if set_knobs:
+        raise ValueError(
+            f"{sorted(set_knobs)} cannot be combined with session=; "
+            f"configure them on the session's SessionConfig instead"
         )
-        return
-    materialize(examples.all_examples())
-
-
-def _apply_saturation_store(
-    learner: object, store_supplier: Optional[Callable[[], SaturationStore]]
-) -> object:
-    """Hand learners that support it a shared saturation store.
-
-    Used to keep one warm store across cross-validation folds over the same
-    instance.  The store is supplied lazily so no SQLite connection is ever
-    opened for learners without the knob (FOIL's query coverage has no
-    saturations).
-    """
-    if store_supplier is not None and hasattr(learner, "saturation_store"):
-        learner.saturation_store = store_supplier()
-    return learner
 
 
 class VariantResult:
@@ -177,8 +147,38 @@ class VariantResult:
         )
 
 
+def _session_for(
+    session: Optional[LearningSession],
+    backend: Optional[str],
+    parallelism: Optional[int],
+    shards: Optional[int],
+    reuse_saturation_store: bool = True,
+) -> tuple:
+    """Resolve the (session, owns_session) pair every entry point needs.
+
+    The owned config never carries ``presaturate``: the keyword stays the
+    single source of truth inside :func:`run_variant` (including the
+    legacy warn-and-run path for ``presaturate`` without a shared store,
+    which direct ``SessionConfig`` construction rejects).
+    """
+    if session is not None:
+        _reject_knobs_with_session(
+            backend=backend, parallelism=parallelism, shards=shards
+        )
+        return session, False
+    owned = LearningSession(
+        SessionConfig(
+            backend=backend,
+            parallelism=parallelism,
+            shards=shards,
+            reuse_saturation_store=reuse_saturation_store,
+        )
+    )
+    return owned, True
+
+
 def run_variant(
-    bundle: DatasetBundle,
+    bundle,
     variant_name: str,
     learner_spec: LearnerSpec,
     folds: int = 3,
@@ -188,87 +188,98 @@ def run_variant(
     shards: Optional[int] = None,
     reuse_saturation_store: bool = True,
     presaturate: bool = False,
+    session: Optional[LearningSession] = None,
 ) -> VariantResult:
     """Cross-validate one learner on one schema variant of the dataset.
 
-    ``backend`` selects the storage/evaluation backend the instance is
-    materialized on (``memory``/``sqlite``/``sqlite-pooled``/
-    ``sqlite-sharded``); ``None`` keeps the bundle's own.  ``parallelism``
-    sets the clause-scoring fan-out on learners that support it and
-    ``shards`` the worker count on sharded backends (results are identical
-    for every value of either; only wall-clock time changes).  With
-    ``reuse_saturation_store`` (default), learners with compiled subsumption
-    coverage share one warm :class:`SaturationStore` across the folds of
-    this variant instead of materializing saturations per fold — fold
-    results are identical either way (saturations of one example on one
-    instance do not depend on the fold split).  ``presaturate`` additionally
-    materializes every example's saturation into that shared store *before*
-    the folds run — one batched call (sharded backends fan it across their
-    worker fleet), excluded from the per-fold learning times.
+    With ``session=`` the run rides that session's prepared instances,
+    warm evaluation services, and shared saturation stores (repeat calls
+    start warm; ``backend``/``parallelism``/``shards`` then live on the
+    session's :class:`SessionConfig` and may not be passed here).  Without
+    it, the legacy keywords are wrapped in a per-call session: ``backend``
+    selects the storage/evaluation backend, ``parallelism`` the
+    clause-scoring fan-out, ``shards`` the worker count on sharded
+    backends (results are identical for every value of either; only
+    wall-clock time changes).  With ``reuse_saturation_store`` (default),
+    learners with compiled subsumption coverage share one warm
+    :class:`SaturationStore` across the folds of this variant; fold
+    results are identical either way.  ``presaturate`` additionally
+    materializes every example's saturation into that shared store
+    *before* the folds run — one batched call (sharded backends fan it
+    across their worker fleet), excluded from the per-fold learning times.
     """
-    schema = bundle.schema(variant_name)
-    instance = bundle.instance(variant_name)
-    if backend is not None and backend != instance.backend_name:
-        instance = instance.with_backend(backend)
-    _apply_shards(instance, shards)
-    shared: List[SaturationStore] = []
+    session, owns_session = _session_for(
+        session, backend, parallelism, shards, reuse_saturation_store
+    )
+    config = session.config
+    effective_reuse = reuse_saturation_store and config.reuse_saturation_store
+    effective_presaturate = presaturate or config.presaturate
+    try:
+        schema = bundle.schema(variant_name)
+        instance = session.prepare(bundle.instance(variant_name))
+        supplier = session.store_supplier(instance) if effective_reuse else None
 
-    def store_supplier() -> SaturationStore:
-        if not shared:
-            shared.append(SaturationStore())
-        return shared[0]
+        def factory() -> object:
+            learner = session.apply(learner_spec.build(schema))
+            if supplier is not None and hasattr(learner, "saturation_store"):
+                # Keyed by the learner's saturation config: folds and
+                # repeat runs of one spec share a warm store, differently
+                # configured learners never do.
+                learner.saturation_store = supplier(learner)
+            return learner
 
-    def factory() -> object:
-        learner = _apply_parallelism(learner_spec.build(schema), parallelism)
-        return _apply_saturation_store(
-            learner, store_supplier if reuse_saturation_store else None
-        )
+        if effective_presaturate:
+            if effective_reuse:
+                session.presaturate(factory(), instance, bundle.examples)
+            else:
+                # Without a shared store the warm-up would be thrown away
+                # with the first fold's engine — say so, don't double-pay.
+                _warn_once(
+                    "presaturate=True has no effect with "
+                    "reuse_saturation_store=False; ignoring it"
+                )
 
-    if presaturate:
-        if reuse_saturation_store:
-            _presaturate(factory(), instance, bundle.examples)
-        else:
-            # Without a shared store the warm-up would be thrown away with
-            # the first fold's engine — say so instead of silently skipping.
-            _warn_once(
-                "presaturate=True has no effect with "
-                "reuse_saturation_store=False; ignoring it"
+        if folds <= 1:
+            learner = factory()
+            train, test = bundle.examples.train_test_split(
+                test_fraction=0.3, seed=seed
+            )
+            start = time.perf_counter()
+            definition = learner.learn(instance, train)
+            elapsed = time.perf_counter() - start
+            evaluation = evaluate_definition(definition, instance, test)
+            return VariantResult(
+                learner_spec.name,
+                variant_name,
+                evaluation.precision,
+                evaluation.recall,
+                evaluation.f1,
+                elapsed,
+                definition,
+                folds=1,
             )
 
-    if folds <= 1:
-        learner = factory()
-        train, test = bundle.examples.train_test_split(test_fraction=0.3, seed=seed)
-        start = time.perf_counter()
-        definition = learner.learn(instance, train)
-        elapsed = time.perf_counter() - start
-        evaluation = evaluate_definition(definition, instance, test)
+        report: CrossValidationReport = cross_validate(
+            factory, instance, bundle.examples, folds=folds, seed=seed
+        )
+        definition = report.outcomes[0].definition if report.outcomes else None
         return VariantResult(
             learner_spec.name,
             variant_name,
-            evaluation.precision,
-            evaluation.recall,
-            evaluation.f1,
-            elapsed,
+            report.precision,
+            report.recall,
+            report.f1,
+            report.mean_learn_seconds,
             definition,
-            folds=1,
+            folds=folds,
         )
-
-    report = cross_validate(factory, instance, bundle.examples, folds=folds, seed=seed)
-    definition = report.outcomes[0].definition if report.outcomes else None
-    return VariantResult(
-        learner_spec.name,
-        variant_name,
-        report.precision,
-        report.recall,
-        report.f1,
-        report.mean_learn_seconds,
-        definition,
-        folds=folds,
-    )
+    finally:
+        if owns_session:
+            session.close()
 
 
 def run_schema_sweep(
-    bundle: DatasetBundle,
+    bundle,
     learner_specs: Sequence[LearnerSpec],
     variants: Optional[Sequence[str]] = None,
     folds: int = 3,
@@ -278,30 +289,43 @@ def run_schema_sweep(
     shards: Optional[int] = None,
     reuse_saturation_store: bool = True,
     presaturate: bool = False,
+    session: Optional[LearningSession] = None,
 ) -> List[VariantResult]:
-    """Run every learner on every schema variant (one of the paper's tables)."""
-    variants = list(variants or bundle.variant_names)
-    if backend is not None:
-        # Convert once up front: the bundle caches the re-materialized
-        # instance per variant, instead of once per learner x variant.
-        bundle = bundle.with_backend(backend)
-    results: List[VariantResult] = []
-    for learner_spec in learner_specs:
-        for variant_name in variants:
-            results.append(
-                run_variant(
-                    bundle,
-                    variant_name,
-                    learner_spec,
-                    folds,
-                    seed,
-                    parallelism=parallelism,
-                    shards=shards,
-                    reuse_saturation_store=reuse_saturation_store,
-                    presaturate=presaturate,
+    """Run every learner on every schema variant (one of the paper's tables).
+
+    The whole sweep shares one session (the caller's or a per-call one), so
+    every learner×variant cell after the first on a variant starts from
+    that variant's warm instance and saturation store.
+    """
+    session, owns_session = _session_for(
+        session, backend, parallelism, shards, reuse_saturation_store
+    )
+    try:
+        variants = list(variants or bundle.variant_names)
+        # Convert once up front (and once per *session*, not per call): the
+        # converted bundle caches the re-materialized instance per variant,
+        # so repeat sweeps on one session land on the same instances, warm
+        # fleets, and stores.
+        bundle = session.prepare_bundle(bundle)
+        results: List[VariantResult] = []
+        for learner_spec in learner_specs:
+            for variant_name in variants:
+                results.append(
+                    run_variant(
+                        bundle,
+                        variant_name,
+                        learner_spec,
+                        folds,
+                        seed,
+                        reuse_saturation_store=reuse_saturation_store,
+                        presaturate=presaturate,
+                        session=session,
+                    )
                 )
-            )
-    return results
+        return results
+    finally:
+        if owns_session:
+            session.close()
 
 
 class SchemaIndependenceReport:
@@ -340,13 +364,14 @@ class SchemaIndependenceReport:
 
 
 def check_schema_independence(
-    bundle: DatasetBundle,
+    bundle,
     learner_spec: LearnerSpec,
     variants: Optional[Sequence[str]] = None,
     seed: int = 0,
     backend: Optional[str] = None,
     parallelism: Optional[int] = None,
     shards: Optional[int] = None,
+    session: Optional[LearningSession] = None,
 ) -> SchemaIndependenceReport:
     """Learn on every variant with the full training data and compare outputs.
 
@@ -354,19 +379,35 @@ def check_schema_independence(
     own variant's instance and the result relations are compared across
     variants (Definition 3.10 instantiated on the actual data).
     """
-    variants = list(variants or bundle.variant_names)
-    if backend is not None:
-        bundle = bundle.with_backend(backend)
-    definitions: Dict[str, HornDefinition] = {}
-    results: Dict[str, frozenset] = {}
-    for variant_name in variants:
-        schema = bundle.schema(variant_name)
-        instance = bundle.instance(variant_name)
-        _apply_shards(instance, shards)
-        learner = _apply_parallelism(learner_spec.build(schema), parallelism)
-        definition = learner.learn(instance, bundle.examples)
-        definitions[variant_name] = definition
-        results[variant_name] = frozenset(definition_results(definition, instance))
+    del seed  # accepted for signature compatibility; learning is seeded by parameters
+    session, owns_session = _session_for(session, backend, parallelism, shards)
+    try:
+        variants = list(variants or bundle.variant_names)
+        bundle = session.prepare_bundle(bundle)
+        definitions: Dict[str, HornDefinition] = {}
+        results: Dict[str, frozenset] = {}
+        for variant_name in variants:
+            schema = bundle.schema(variant_name)
+            instance = session.prepare(bundle.instance(variant_name))
+            learner = learner_spec.build(schema)
+            store = (
+                session.saturation_store_for(instance, learner)
+                if hasattr(learner, "saturation_store")
+                else None
+            )
+            session.apply(learner, instance=instance, saturation_store=store)
+            if session.config.presaturate:
+                # Honored here like in run_variant: an explicit setting is
+                # never silently ignored (warn paths live in presaturate).
+                session.presaturate(learner, instance, bundle.examples)
+            definition = learner.learn(instance, bundle.examples)
+            definitions[variant_name] = definition
+            results[variant_name] = frozenset(
+                definition_results(definition, instance)
+            )
+    finally:
+        if owns_session:
+            session.close()
 
     pairwise: Dict[str, bool] = {}
     for i, first in enumerate(variants):

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..database.backend import configure_backend_sharding
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
 from ..learning.coverage import BatchCoverageEngine, QueryCoverageEngine
+from ..learning.knobs import EvaluationKnobs
 from ..learning.covering import CoveringLearner, CoveringParameters
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
@@ -187,7 +187,7 @@ class _FoilClauseLearner:
         return best
 
 
-class FoilLearner:
+class FoilLearner(EvaluationKnobs):
     """Public FOIL learner: ``learn(instance, examples) -> HornDefinition``."""
 
     name = "FOIL"
@@ -199,17 +199,19 @@ class FoilLearner:
         backend: Optional[str] = None,
         parallelism: Optional[int] = None,
         shards: Optional[int] = None,
+        context=None,
     ):
         self.schema = schema
         self.parameters = parameters or FoilParameters()
-        # Storage/evaluation backend the learner wants the instance on
-        # (None = use the instance as given).
+        # Deliberately only the backend/shards half of the mixin's knob
+        # set: query coverage has no saturations and no compiled
+        # subsumption, and phantom attributes would make apply() silently
+        # accept settings this learner cannot honor.
         self.backend = backend
-        # Worker count when the backend is sharded (None = backend default);
-        # like parallelism, shards never changes results, only wall-clock.
         self.shards = shards
         if parallelism is not None:
             self.parameters.parallelism = max(1, int(parallelism))
+        self._apply_context(context)
 
     @property
     def parallelism(self) -> int:
@@ -222,9 +224,7 @@ class FoilLearner:
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
         """Learn a Horn definition of the examples' target relation."""
-        if self.backend is not None and self.backend != instance.backend_name:
-            instance = instance.with_backend(self.backend)
-        configure_backend_sharding(instance.backend, self.shards)
+        instance = self._prepare_instance(instance)
         coverage = QueryCoverageEngine(instance)
         clause_learner = _FoilClauseLearner(self.schema, self.parameters, coverage)
         covering = CoveringLearner(

@@ -23,6 +23,7 @@ from ..foil.gain import precision
 from ..learning.bottom_clause import BottomClauseConfig
 from ..learning.coverage import SubsumptionCoverageEngine
 from ..learning.covering import CoveringLearner, CoveringParameters
+from ..learning.knobs import EvaluationKnobs, ThreadsAsParallelism
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
 from ..logic.lgg import lgg_clauses, rlgg
@@ -146,19 +147,40 @@ class _GolemClauseLearner:
         return result.precision() >= self.parameters.min_precision
 
 
-class GolemLearner:
+class GolemLearner(EvaluationKnobs, ThreadsAsParallelism):
     """Public Golem learner: rlgg-based bottom-up induction."""
 
     name = "Golem"
 
-    def __init__(self, schema: Schema, parameters: Optional[GolemParameters] = None, threads: int = 1):
+    def __init__(
+        self,
+        schema: Schema,
+        parameters: Optional[GolemParameters] = None,
+        threads: int = 1,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
+        saturation_store=None,
+        context=None,
+    ):
         self.schema = schema
         self.parameters = parameters or GolemParameters()
-        self.threads = threads
+        self.threads = max(1, int(threads))
+        self._init_evaluation_knobs(
+            backend=backend, shards=shards, saturation_store=saturation_store
+        )
+        if parallelism is not None:
+            self.threads = max(1, int(parallelism))
+        self._apply_context(context)
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
+        instance = self._prepare_instance(instance)
         coverage = SubsumptionCoverageEngine(
-            instance, self.parameters.bottom_clause, threads=self.threads
+            instance,
+            self.parameters.bottom_clause,
+            threads=self.threads,
+            compiled=self.compiled_coverage,
+            saturation_store=self.saturation_store,
         )
         clause_learner = _GolemClauseLearner(self.parameters, coverage)
         covering = CoveringLearner(

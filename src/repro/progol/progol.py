@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema
 from ..foil.gain import coverage_score, foil_gain, precision
+from ..learning.knobs import EvaluationKnobs, ThreadsAsParallelism
 from ..learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
 from ..learning.coverage import SubsumptionCoverageEngine
 from ..learning.covering import CoveringLearner, CoveringParameters
@@ -160,20 +161,41 @@ class _ProgolClauseLearner:
         return coverage_score(covered_pos, covered_neg, length)
 
 
-class ProgolLearner:
+class ProgolLearner(EvaluationKnobs, ThreadsAsParallelism):
     """Aleph-Progol style learner (default settings) with a configurable beam."""
 
     name = "Aleph-Progol"
 
-    def __init__(self, schema: Schema, parameters: Optional[ProgolParameters] = None, threads: int = 1):
+    def __init__(
+        self,
+        schema: Schema,
+        parameters: Optional[ProgolParameters] = None,
+        threads: int = 1,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
+        saturation_store=None,
+        context=None,
+    ):
         self.schema = schema
         self.parameters = parameters or ProgolParameters()
-        self.threads = threads
+        self.threads = max(1, int(threads))
+        self._init_evaluation_knobs(
+            backend=backend, shards=shards, saturation_store=saturation_store
+        )
+        if parallelism is not None:
+            self.threads = max(1, int(parallelism))
+        self._apply_context(context)
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
         """Learn a Horn definition via bottom-clause-bounded top-down search."""
+        instance = self._prepare_instance(instance)
         coverage = SubsumptionCoverageEngine(
-            instance, self.parameters.bottom_clause, threads=self.threads
+            instance,
+            self.parameters.bottom_clause,
+            threads=self.threads,
+            compiled=self.compiled_coverage,
+            saturation_store=self.saturation_store,
         )
         clause_learner = _ProgolClauseLearner(self.schema, self.parameters, coverage)
         covering = CoveringLearner(
@@ -203,9 +225,10 @@ class AlephFoilLearner(ProgolLearner):
         clause_length: int = 10,
         parameters: Optional[ProgolParameters] = None,
         threads: int = 1,
+        **kwargs,
     ):
         if parameters is None:
             parameters = ProgolParameters(
                 clause_length=clause_length, open_list_size=1, scoring="gain"
             )
-        super().__init__(schema, parameters, threads=threads)
+        super().__init__(schema, parameters, threads=threads, **kwargs)

@@ -26,6 +26,7 @@ from ..foil.gain import precision
 from ..learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
 from ..learning.coverage import BatchCoverageEngine, SubsumptionCoverageEngine
 from ..learning.covering import CoveringLearner, CoveringParameters
+from ..learning.knobs import EvaluationKnobs
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
 from ..logic.minimize import minimize_clause
@@ -196,7 +197,7 @@ class ProGolemClauseLearner:
         return result.coverage_score()
 
 
-class ProGolemLearner:
+class ProGolemLearner(EvaluationKnobs):
     """Public ProGolem learner."""
 
     name = "ProGolem"
@@ -210,16 +211,19 @@ class ProGolemLearner:
         threads: int = 1,
         parallelism: Optional[int] = None,
         saturation_store=None,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
+        context=None,
     ):
         self.schema = schema
         self.parameters = parameters or ProGolemParameters()
         self.threads = threads
-        # Optional shared SaturationStore for the compiled coverage path;
-        # the harness sets this so cross-validation folds over one instance
-        # reuse materialized saturations instead of rebuilding them per fold.
-        self.saturation_store = saturation_store
+        self._init_evaluation_knobs(
+            backend=backend, shards=shards, saturation_store=saturation_store
+        )
         if parallelism is not None:
             self.parameters.parallelism = max(1, int(parallelism))
+        self._apply_context(context)
 
     @property
     def parallelism(self) -> int:
@@ -236,6 +240,7 @@ class ProGolemLearner:
             instance,
             self.parameters.bottom_clause,
             threads=self.threads,
+            compiled=self.compiled_coverage,
             saturation_store=self.saturation_store,
         )
 
@@ -245,6 +250,7 @@ class ProGolemLearner:
         return self.clause_learner_class(self.schema, self.parameters, coverage)
 
     def learn(self, instance: DatabaseInstance, examples: ExampleSet) -> HornDefinition:
+        instance = self._prepare_instance(instance)
         coverage = self.make_coverage_engine(instance)
         clause_learner = self.make_clause_learner(instance, coverage)
         covering = CoveringLearner(

@@ -1,0 +1,620 @@
+"""`LearningSession`: the single front door to the learning stack.
+
+A session owns everything a learning run used to assemble by hand — the
+storage backend instances are materialized on, the evaluation service (or
+the connection to a persistent one), and the shared saturation store — and
+hands out learners already normalized onto one validated
+:class:`~repro.session.config.SessionConfig`::
+
+    from repro import LearningSession, SessionConfig
+
+    with LearningSession(SessionConfig(backend="sqlite-pooled", parallelism=4)) as session:
+        learner = session.learner("castor", schema, parameters)
+        definition = learner.learn(instance, examples)
+        result = session.run(bundle, "original", "progolem", folds=3)
+
+Repeated runs through one session reuse the prepared instances, the warm
+worker fleets, and the saturation stores — the second run starts warm.
+
+``LearningSession.connect("host:port")`` binds the session to a
+**persistent evaluation server** (``python -m repro.distributed.service
+--serve``) instead: instances register under content-hashed handles, and a
+run over data the server has already seen ships no payload at all — the
+warm fleet of the previous run (or of another user's session) serves it
+directly.
+
+Lifecycle safety: sessions are context managers, ``close()`` is
+idempotent, and every session registers an ``atexit`` hook so abandoned
+sessions cannot leak worker processes from aborted runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import threading
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..database.instance import DatabaseInstance
+from ..database.sqlite_backend import SaturationStore
+from .config import SessionConfig, warn_once
+
+
+def _learner_kinds() -> Dict[str, type]:
+    """Name -> class registry for ``session.learner("castor", ...)``.
+
+    Resolved lazily so importing :mod:`repro.session` does not drag in
+    every learner package.
+    """
+    from ..castor.castor import CastorLearner
+    from ..foil.foil import FoilLearner
+    from ..golem.golem import GolemLearner
+    from ..progol.progol import AlephFoilLearner, ProgolLearner
+    from ..progolem.progolem import ProGolemLearner
+
+    return {
+        "castor": CastorLearner,
+        "foil": FoilLearner,
+        "golem": GolemLearner,
+        "progolem": ProGolemLearner,
+        "progol": ProgolLearner,
+        "aleph-foil": AlephFoilLearner,
+    }
+
+
+def _resolve_kind(kind: str) -> type:
+    kinds = _learner_kinds()
+    try:
+        return kinds[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown learner kind {kind!r}; available: {sorted(kinds)}"
+        ) from exc
+
+
+class SessionLearner:
+    """A learner bound to its session: ``learn()`` rides the session's
+    prepared instances, shared stores, and presaturation policy.
+
+    Everything else (parameters, name, knobs) delegates to the wrapped
+    learner, so the wrapper stays invisible to code that inspects it.
+    """
+
+    def __init__(self, session: "LearningSession", learner):
+        self._session = session
+        self._learner = learner
+
+    @property
+    def wrapped(self):
+        """The underlying learner object."""
+        return self._learner
+
+    def learn(self, instance: DatabaseInstance, examples):
+        session = self._session
+        prepared = session.prepare(instance)
+        # Lazy like the harness path: no SQLite-backed store is ever opened
+        # for learners without the knob (FOIL's query coverage).
+        store = (
+            session.saturation_store_for(prepared, self._learner)
+            if hasattr(self._learner, "saturation_store")
+            else None
+        )
+        session.apply(self._learner, instance=prepared, saturation_store=store)
+        if session.config.presaturate:
+            session.presaturate(self._learner, prepared, examples)
+        return self._learner.learn(prepared, examples)
+
+    def __getattr__(self, name: str):
+        return getattr(self._learner, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Writes configure the wrapped learner (a wrapper-local attribute
+        # would shadow reads while learn() ignored the setting).
+        if name in ("_session", "_learner"):
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._learner, name, value)
+
+    def __repr__(self) -> str:
+        return f"SessionLearner({self._learner!r})"
+
+
+class _SessionResources:
+    """The closeable resources a session creates, owned separately.
+
+    Split out so the session's exit-safety hook can be a
+    ``weakref.finalize`` on this object: an abandoned session (no
+    ``close()``) stays garbage-collectable — its resources are reclaimed
+    when the session is collected or at interpreter exit — whereas an
+    ``atexit``-registered bound method would pin every un-closed session,
+    its prepared instances, and its stores for the whole process lifetime.
+    """
+
+    def __init__(self) -> None:
+        self.backends: List[object] = []
+        self.bundles: List[object] = []
+        self.client = None
+
+    def close(self) -> None:
+        # Best-effort per resource: one failing fleet teardown must not
+        # leak every remaining fleet and the server connection (this runs
+        # once — from close() or the finalizer — so nothing retries).
+        bundles, self.bundles = self.bundles, []
+        backends, self.backends = self.backends, []
+        first_error = None
+        for resource in bundles + backends:
+            close = getattr(resource, "close", None)
+            if close is None:
+                continue
+            try:
+                close()
+            except Exception as exc:  # noqa: BLE001 - keep closing the rest
+                first_error = first_error or exc
+        if self.client is not None:
+            try:
+                self.client.close()
+            finally:
+                self.client = None
+        if first_error is not None:
+            raise first_error
+
+
+class LearningSession:
+    """Owner of backend + evaluation-service + saturation-store lifecycle."""
+
+    def __init__(self, config: Optional[SessionConfig] = None, **overrides):
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            config = config.merged(**overrides)
+        self.config = config
+        self._lock = threading.RLock()
+        # id(source) -> (source, prepared, data token, owned backend); the
+        # source reference pins the id so Python cannot recycle it for a
+        # different instance, and the token notices mutations.
+        self._instances: Dict[
+            int,
+            Tuple[DatabaseInstance, DatabaseInstance, object, Optional[object]],
+        ] = {}
+        # id(source bundle) -> (source, converted) — same pinning trick, so
+        # repeated sweeps over one bundle reuse one converted bundle (and
+        # therefore one set of materialized instances and warm stores).
+        self._bundles: Dict[int, Tuple[object, object]] = {}
+        self._stores: Dict[object, SaturationStore] = {}
+        self._closed = False
+        self._resources = _SessionResources()
+        if config.service_address is not None:
+            from ..distributed.client import ServiceClient
+
+            self._resources.client = ServiceClient(config.service_address)
+        # Abandoned sessions (aborted scripts, crashed notebooks) must not
+        # leak worker fleets: the finalizer runs on garbage collection and
+        # at interpreter exit, and close() triggers it explicitly.
+        self._finalizer = weakref.finalize(self, self._resources.close)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        config: Optional[SessionConfig] = None,
+        **overrides,
+    ) -> "LearningSession":
+        """A session evaluating on the persistent server at ``address``."""
+        base = config or SessionConfig()
+        return cls(base.merged(service_address=str(address), **overrides))
+
+    @property
+    def client(self):
+        """The :class:`~repro.distributed.client.ServiceClient`, if remote."""
+        return self._resources.client
+
+    @property
+    def is_remote(self) -> bool:
+        return self._resources.client is not None
+
+    # ------------------------------------------------------------------ #
+    # Instances and stores
+    # ------------------------------------------------------------------ #
+    def prepare(self, instance: DatabaseInstance) -> DatabaseInstance:
+        """The instance on this session's backend (cached per source).
+
+        Local sessions convert onto ``config.backend`` (once — repeated
+        runs over the same source instance reuse the converted one and its
+        warm evaluation service).  Remote sessions re-materialize onto a
+        ``"sqlite-remote"`` backend bound to the session's server
+        connection.  Either way the full sharding topology is (re)applied.
+
+        The cache watches the source's :meth:`~DatabaseInstance.data_token`:
+        a mutation between runs re-converts the instance and drops its
+        saturation stores (whose clauses describe the old data), so
+        session runs always see current contents — same semantics as the
+        legacy per-``learn()`` conversion, minus the cost when nothing
+        changed.
+        """
+        self._ensure_open()
+        with self._lock:
+            key = id(instance)
+            token = instance.data_token()
+            entry = self._instances.get(key)
+            if entry is not None and entry[2] != token:
+                self._invalidate_locked(key, entry)
+                entry = None
+            if entry is None:
+                prepared, owned = self._prepare_uncached(instance)
+                entry = self._instances[key] = (instance, prepared, token, owned)
+            prepared = entry[1]
+            self.config.apply(instance=prepared)
+            return prepared
+
+    def _invalidate_locked(self, key, entry) -> None:
+        """Drop a stale prepared instance: its conversion and its stores
+        describe the pre-mutation data."""
+        del self._instances[key]
+        _source, prepared, _token, owned = entry
+        stale = id(prepared)
+        for store_key in [k for k in self._stores if k[0] == stale]:
+            del self._stores[store_key]
+        if owned is not None:
+            remote = getattr(owned, "remote_service", None)
+            client = self._resources.client
+            if remote is not None and remote.handle is not None and client is not None:
+                # The superseded data's server-side handle (and its fleet)
+                # is retired instead of idling until LRU eviction; another
+                # session still on it just re-registers (one re-ship).
+                try:
+                    client.unregister(remote.handle)
+                except Exception:  # noqa: BLE001 - best-effort hygiene
+                    pass
+            try:
+                self._resources.backends.remove(owned)
+            except ValueError:
+                pass
+            close = getattr(owned, "close", None)
+            if close is not None:
+                close()
+
+    def _prepare_uncached(self, instance: DatabaseInstance):
+        """Convert onto the session backend; returns (prepared, owned backend)."""
+        client = self._resources.client
+        if client is not None:
+            from ..distributed.client import RemoteBackend
+
+            # The handle name is content-qualified by the backend at
+            # registration time, so distinct instances under one named
+            # namespace never collide (and never depend on preparation
+            # order).
+            backend = RemoteBackend(
+                client=client, handle=self.config.instance_handle
+            )
+            prepared = instance.with_backend(backend)
+            self._resources.backends.append(backend)
+            return prepared, backend
+        if (
+            self.config.backend is not None
+            and self.config.backend != instance.backend_name
+        ):
+            prepared = instance.with_backend(self.config.backend)
+            self._resources.backends.append(prepared.backend)
+            return prepared, prepared.backend
+        return instance, None
+
+    def prepare_bundle(self, bundle):
+        """The bundle converted onto this session's backend (cached).
+
+        ``DatasetBundle.with_backend`` returns a *fresh* bundle with an
+        empty per-variant instance cache, so converting on every harness
+        call would make repeat sweeps fully cold (and grow the session's
+        id-keyed caches without bound).  Caching the conversion per source
+        bundle keeps the variant instances — and everything keyed on their
+        identity: prepared instances, warm fleets, saturation stores —
+        stable across calls.
+        """
+        self._ensure_open()
+        backend = self.config.backend
+        if backend is None or self.is_remote:
+            # Remote sessions (and backend-less ones) convert per instance
+            # in prepare(); the bundle itself is reused as-is.
+            return bundle
+        with self._lock:
+            key = id(bundle)
+            entry = self._bundles.get(key)
+            if entry is None:
+                converted = bundle.with_backend(backend)
+                if converted is not bundle:
+                    # Converted bundles own their variants' backends
+                    # (worker fleets included); an unconverted bundle is
+                    # the caller's and stays untouched at close().
+                    self._resources.bundles.append(converted)
+                entry = self._bundles[key] = (bundle, converted)
+            return entry[1]
+
+    def saturation_store_for(
+        self, instance: DatabaseInstance, learner=None
+    ) -> Optional[SaturationStore]:
+        """The shared warm store for a prepared instance (or ``None`` when
+        ``reuse_saturation_store=False``).
+
+        Stores are keyed per (instance, learner configuration): the store
+        dedups saturations by example only, so two learners whose builders
+        construct *different* saturations for one example (Castor's IND
+        chase vs ProGolem at another depth) must never share one — the
+        second learner would answer compiled coverage from the first's
+        clauses.  Same-configured learners (cross-validation folds, repeat
+        runs of one spec) land on the same warm store.
+        """
+        if not self.config.reuse_saturation_store:
+            return None
+        key = (id(instance), self._learner_fingerprint(learner))
+        with self._lock:
+            store = self._stores.get(key)
+            if store is None:
+                store = self._stores[key] = SaturationStore()
+            return store
+
+    @staticmethod
+    def _learner_fingerprint(learner) -> object:
+        """Everything saturation-relevant about a learner, hashable.
+
+        Over-keying is safe (it only loses sharing); under-keying answers
+        coverage from a foreign builder's saturations.  The parameters
+        object carries the bottom-clause config plus Castor's IND options;
+        unpicklable parameters fall back to no sharing at all.
+        """
+        if learner is None:
+            return None
+        try:
+            return pickle.dumps(
+                (type(learner).__qualname__, getattr(learner, "parameters", None)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:  # noqa: BLE001 - exotic parameters: isolate, don't fail
+            return id(learner)
+
+    def store_supplier(
+        self, instance: DatabaseInstance
+    ) -> Optional[Callable[..., SaturationStore]]:
+        """Lazy-store variant of :meth:`saturation_store_for` (no SQLite
+        connection is opened for learners that never ask).  Callers pass
+        the learner so stores stay keyed per saturation configuration."""
+        if not self.config.reuse_saturation_store:
+            return None
+        return lambda learner=None: self.saturation_store_for(instance, learner)
+
+    # ------------------------------------------------------------------ #
+    # Learners
+    # ------------------------------------------------------------------ #
+    def apply(self, learner, instance=None, saturation_store=None):
+        """Normalize a learner onto this session's config (see
+        :meth:`SessionConfig.apply`); lets a session double as the
+        ``context=`` argument of any learner constructor.  Instance
+        routing stays with :meth:`prepare`, so the learner never receives
+        a ``backend`` knob it would re-apply per ``learn()``."""
+        return self.config.apply(
+            learner,
+            instance=instance,
+            saturation_store=saturation_store,
+            _session_managed=True,
+        )
+
+    def learner(self, kind, schema, parameters=None, **kwargs) -> SessionLearner:
+        """Construct a learner bound to this session.
+
+        ``kind`` is a registry name (``"castor"``, ``"progolem"``,
+        ``"golem"``, ``"foil"``, ``"progol"``, ``"aleph-foil"``) or a
+        learner class.  The learner is built with the uniform
+        ``context=`` path and wrapped so that ``learn()`` runs on the
+        session's prepared instances and shared stores.
+        """
+        self._ensure_open()
+        cls = _resolve_kind(kind) if isinstance(kind, str) else kind
+        # The session itself is the context, so instance routing stays
+        # session-managed (prepare() handles backends, including remote).
+        # ``parameters`` goes by keyword: positionally it would land in
+        # e.g. AlephFoilLearner's clause_length slot.
+        if parameters is None:
+            learner = cls(schema, context=self, **kwargs)
+        else:
+            learner = cls(schema, parameters=parameters, context=self, **kwargs)
+        return SessionLearner(self, learner)
+
+    def presaturate(self, learner, instance: DatabaseInstance, examples) -> None:
+        """Warm the shared saturation store for a whole example set.
+
+        Builds the learner's coverage engine once and materializes every
+        example's saturation through the batched entry point — one call,
+        fanned across the worker fleet on sharded/remote backends — so
+        learning starts from a warm store.  Warns once (never errors) for
+        learners/engines without the machinery.
+        """
+        make_engine = getattr(learner, "make_coverage_engine", None)
+        if make_engine is None:
+            warn_once(
+                f"learner {type(learner).__name__} has no coverage-engine "
+                "factory; ignoring presaturate=True"
+            )
+            return
+        store = self.saturation_store_for(instance, learner)
+        if store is None:
+            warn_once(
+                "presaturate=True has no effect with "
+                "reuse_saturation_store=False; ignoring it"
+            )
+            return
+        self.apply(learner, saturation_store=store)
+        engine = make_engine(instance)
+        materialize = getattr(engine, "materialize", None)
+        if materialize is None or not getattr(engine, "compiled_enabled", False):
+            # Without the compiled store the warm-up would only fill this
+            # throwaway engine's private cache — skip instead of double-paying.
+            warn_once(
+                f"presaturate=True has no shared store to warm on "
+                f"{type(engine).__name__} (backend "
+                f"{getattr(instance, 'backend_name', '?')!r}); ignoring it"
+            )
+            return
+        materialize(examples.all_examples())
+
+    # ------------------------------------------------------------------ #
+    # Harness entry points
+    # ------------------------------------------------------------------ #
+    def run(self, bundle, variant_name, learner, folds=3, seed=0, parameters=None):
+        """Cross-validate one learner on one schema variant (see
+        :func:`repro.experiments.harness.run_variant`)."""
+        from ..experiments.harness import run_variant
+
+        spec = self._as_spec(learner, parameters)
+        return run_variant(
+            bundle, variant_name, spec, folds=folds, seed=seed, session=self
+        )
+
+    def sweep(self, bundle, learners, variants=None, folds=3, seed=0):
+        """Every learner on every schema variant (one of the paper's tables)."""
+        from ..experiments.harness import run_schema_sweep
+
+        specs = [self._as_spec(learner) for learner in learners]
+        return run_schema_sweep(
+            bundle, specs, variants=variants, folds=folds, seed=seed, session=self
+        )
+
+    def check_schema_independence(self, bundle, learner, variants=None, seed=0):
+        """Direct empirical schema-independence check (Definition 3.10)."""
+        from ..experiments.harness import check_schema_independence
+
+        return check_schema_independence(
+            bundle, self._as_spec(learner), variants=variants, seed=seed,
+            session=self,
+        )
+
+    def _as_spec(self, learner, parameters=None):
+        from ..experiments.harness import LearnerSpec
+
+        if isinstance(learner, LearnerSpec):
+            return learner
+        if isinstance(learner, SessionLearner):
+            learner = learner.wrapped
+        if isinstance(learner, str) or isinstance(learner, type):
+            cls = _resolve_kind(learner) if isinstance(learner, str) else learner
+            name = learner if isinstance(learner, str) else cls.__name__
+            if parameters is None:
+                return LearnerSpec(name, lambda schema: cls(schema))
+            # By keyword: positionally it would land in e.g.
+            # AlephFoilLearner's clause_length slot.
+            return LearnerSpec(
+                name, lambda schema: cls(schema, parameters=parameters)
+            )
+        # A constructed learner object: reused for every fold (learners
+        # rebuild their engines per learn(), so this is re-entrant).  The
+        # schema must follow the variant being learned — keeping the
+        # construction-time schema would silently run e.g. Castor's IND
+        # chase against the wrong relation set on every other variant of a
+        # sweep — but the caller's object is never mutated: a different
+        # variant gets a shallow per-variant clone (config state only;
+        # engines are built per learn()).
+        name = getattr(learner, "name", type(learner).__name__)
+
+        def rebind(schema):
+            if (
+                schema is None
+                or not hasattr(learner, "schema")
+                or schema is learner.schema
+            ):
+                return learner
+            clone = copy.copy(learner)
+            clone.schema = schema
+            return clone
+
+        return LearnerSpec(name, rebind)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def evaluation_stats(self) -> Dict[str, int]:
+        """Aggregate service counters over this session's instances.
+
+        ``reloads_full`` is the number of full instance payloads shipped —
+        the warm-run acceptance number (0 on a repeat run against a
+        persistent server that already holds the data).
+        """
+        totals = {
+            "reloads_full": 0,
+            "reloads_incremental": 0,
+            "register_hits": 0,
+            "batches_served": 0,
+        }
+        with self._lock:
+            prepared_list = [entry[1] for entry in self._instances.values()]
+        for prepared in prepared_list:
+            backend = prepared.backend
+            service = getattr(backend, "remote_service", None)
+            if service is None:
+                service = getattr(backend, "_service", None)
+            if service is None:
+                continue
+            for key in totals:
+                totals[key] += int(getattr(service, key, 0))
+        return totals
+
+    @property
+    def reloads_full(self) -> int:
+        return self.evaluation_stats()["reloads_full"]
+
+    def server_stats(self) -> Optional[Dict[str, object]]:
+        """The persistent server's global stats (``None`` for local sessions)."""
+        client = self.client
+        return None if client is None else client.server_stats()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("this LearningSession is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every owned resource; idempotent.
+
+        Closes backends this session created (worker fleets, snapshot
+        pools) and the server connection (server-side state deliberately
+        stays warm).  Instances that were passed in already prepared are
+        never touched.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._instances.clear()
+            self._bundles.clear()
+            self._stores.clear()
+        # Runs _SessionResources.close exactly once; the same callback
+        # fires on garbage collection / interpreter exit for sessions that
+        # were never closed explicitly.
+        self._finalizer()
+
+    def __enter__(self) -> "LearningSession":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        target = (
+            f"server={self.config.service_address!r}"
+            if self.config.service_address
+            else f"backend={self.config.backend!r}"
+        )
+        return f"LearningSession({target}, {len(self._instances)} instances, {state})"
+
+
+def connect(address: str, config: Optional[SessionConfig] = None, **overrides):
+    """Module-level shorthand for :meth:`LearningSession.connect`."""
+    return LearningSession.connect(address, config=config, **overrides)
