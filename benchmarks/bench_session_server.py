@@ -34,6 +34,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
+import signal
 import subprocess
 import sys
 import threading
@@ -131,7 +133,9 @@ def run_local(bundle, variant, folds, runs, config) -> Dict[str, object]:
 # --------------------------------------------------------------------- #
 # Persistent-server mode
 # --------------------------------------------------------------------- #
-def client_run(address: str, quick: bool, variant: str, folds: int) -> int:
+def client_run(
+    address: str, quick: bool, variant: str, folds: int, token: Optional[str]
+) -> int:
     """One harness run against the server; JSON report on stdout.
 
     Runs in its own process (``--client-run``) so the content-hash warm
@@ -140,7 +144,7 @@ def client_run(address: str, quick: bool, variant: str, folds: int) -> int:
     """
     bundle = load_bundle(quick)
     start = time.perf_counter()
-    with LearningSession.connect(address) as session:
+    with LearningSession.connect(address, token=token) as session:
         result = run_variant(
             bundle, variant, learner_spec(), folds=folds, session=session
         )
@@ -159,6 +163,93 @@ def client_run(address: str, quick: bool, variant: str, folds: int) -> int:
     return 0
 
 
+#: Server mode always runs with auth enabled: the smoke must exercise the
+#: token path end to end, and an unauthenticated persistent server is not
+#: a configuration the benchmark should bless.
+AUTH_TOKEN = "bench-session-secret"
+
+
+def _client_args(address, quick, variant, folds) -> List[str]:
+    args = [
+        sys.executable, os.path.abspath(__file__),
+        "--client-run", "--address", address,
+        "--variant", variant, "--folds", str(folds),
+        "--token", AUTH_TOKEN,
+    ]
+    if quick:
+        args.append("--quick")
+    return args
+
+
+def drain_under_load_smoke(
+    server, address, env, quick, variant, folds, expected_key
+) -> Dict[str, object]:
+    """SIGTERM the server while a client run is mid-batch.
+
+    The graceful-drain contract: the in-flight batch finishes (the client
+    may even complete with full parity), any *further* request gets a typed
+    error — never a hang, never a half-written reply — and the server
+    itself exits 0.
+    """
+    from repro.distributed import ServiceClient
+
+    admin = ServiceClient(address, token=AUTH_TOKEN, client_name="bench-admin")
+    client = subprocess.Popen(
+        _client_args(address, quick, variant, folds),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    try:
+        # Fire the signal only once the client is demonstrably mid-run: its
+        # warm register bumps the handle's hit counter.
+        def hits(status):
+            return sum(
+                entry.get("register_hits", 0)
+                for entry in status.get("handles", {}).values()
+            )
+
+        baseline = hits(admin.server_status())
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if hits(admin.server_status()) > baseline:
+                break
+            time.sleep(0.1)
+        time.sleep(0.3)  # let the first post-register batch take flight
+        server.send_signal(signal.SIGTERM)
+        stdout, stderr = client.communicate(timeout=180)
+    finally:
+        if client.poll() is None:
+            client.kill()
+            client.communicate()
+        try:
+            admin.close()
+        except Exception:  # noqa: BLE001 - the server is going down
+            pass
+    try:
+        server_exit = server.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        server_exit = None  # never exited: the drain hung
+    completed = client.returncode == 0
+    parity = None
+    typed_error = None
+    if completed:
+        report = json.loads(stdout.strip().splitlines()[-1])
+        parity = report["result_key"] == expected_key
+    else:
+        typed_error = bool(
+            re.search(
+                r"ServerDrainingError|ServerError|TransportError"
+                r"|ConnectionRefusedError|ConnectionError",
+                stderr,
+            )
+        )
+    return {
+        "server_exit": server_exit,
+        "client_completed": completed,
+        "client_parity": parity,
+        "client_typed_error": typed_error,
+    }
+
+
 def run_server_mode(quick, variant, folds, runs, shards) -> Dict[str, object]:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -166,6 +257,7 @@ def run_server_mode(quick, variant, folds, runs, shards) -> Dict[str, object]:
         [
             sys.executable, "-m", "repro.distributed.service",
             "--serve", "127.0.0.1:0", "--shards", str(shards),
+            "--auth-token", AUTH_TOKEN,
         ],
         stdout=subprocess.PIPE,
         env=env,
@@ -187,13 +279,7 @@ def run_server_mode(quick, variant, folds, runs, shards) -> Dict[str, object]:
 
         reports: List[Dict[str, object]] = []
         for index in range(runs):
-            args = [
-                sys.executable, os.path.abspath(__file__),
-                "--client-run", "--address", address,
-                "--variant", variant, "--folds", str(folds),
-            ]
-            if quick:
-                args.append("--quick")
+            args = _client_args(address, quick, variant, folds)
             output = subprocess.run(args, env=env, capture_output=True, text=True)
             if output.returncode != 0:
                 # Surface the client's own traceback — a bare
@@ -211,12 +297,25 @@ def run_server_mode(quick, variant, folds, runs, shards) -> Dict[str, object]:
                 f"payloads shipped={report['reloads_full']}, "
                 f"register hits={report['register_hits']}"
             )
+        print("drain smoke: SIGTERM while a client run is mid-batch")
+        drain = drain_under_load_smoke(
+            server, address, env, quick, variant, folds,
+            reports[0]["result_key"],
+        )
+        print(
+            f"  server exit={drain['server_exit']}, client "
+            f"completed={drain['client_completed']} "
+            f"(parity={drain['client_parity']}, "
+            f"typed error={drain['client_typed_error']})"
+        )
         return {
             "address": address,
+            "auth": True,
             "run_seconds": [r["elapsed"] for r in reports],
             "reloads_full": [r["reloads_full"] for r in reports],
             "register_hits": [r["register_hits"] for r in reports],
             "result_keys": [r["result_key"] for r in reports],
+            "drain": drain,
         }
     finally:
         server.terminate()
@@ -249,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--client-run", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--address", default=None, help=argparse.SUPPRESS)
     parser.add_argument("--variant", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--token", default=None, help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args.client_run:
@@ -256,7 +356,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # --variant, and the client builds its own bundle exactly once.
         if not args.address or not args.variant:
             parser.error("--client-run requires --address and --variant")
-        return client_run(args.address, args.quick, args.variant, args.folds)
+        return client_run(
+            args.address, args.quick, args.variant, args.folds, args.token
+        )
 
     bundle = load_bundle(args.quick)
     variant = args.variant or bundle.variant_names[0]
@@ -316,9 +418,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"warm client runs shipped payloads: "
                 f"{server_report['reloads_full'][1:]} (expected all 0)"
             )
+        drain = server_report["drain"]
+        if drain["server_exit"] != 0:
+            failures.append(
+                f"drained server exited {drain['server_exit']} (expected 0)"
+            )
+        if drain["client_completed"]:
+            if not drain["client_parity"]:
+                failures.append(
+                    "client completing through a drain produced divergent results"
+                )
+        elif not drain["client_typed_error"]:
+            failures.append(
+                "client interrupted by the drain died without a typed error"
+            )
         warm_runs = server_report["run_seconds"][1:]
         print(
-            f"server mode: first run {server_report['run_seconds'][0]:.2f}s, "
+            f"server mode (auth on): first run "
+            f"{server_report['run_seconds'][0]:.2f}s, "
             f"warm runs {warm_runs}, payload ships "
             f"{server_report['reloads_full']}"
         )

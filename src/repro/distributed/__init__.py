@@ -25,9 +25,16 @@ from .client import (
     payload_content_hash,
 )
 from .protocol import (
+    AuthenticationError,
+    HandleBusyError,
     PipeTransport,
+    ProtocolVersionError,
+    QuotaExceededError,
+    ServerBusyError,
+    ServerDrainingError,
     SocketTransport,
     TransportError,
+    UnknownHandleError,
     decode_frame,
     encode_frame,
 )
@@ -39,15 +46,23 @@ from .service import (
 )
 from .server import ServiceServer
 from .sharding import SHARDING_STRATEGIES, ShardAssigner, partition_keys, stable_hash
+from .wire import WIRE_VERSION, JsonWireCodec, WireFormatError
 from .worker import InstancePayload
 
 __all__ = [
+    "AuthenticationError",
     "EvaluationService",
+    "HandleBusyError",
     "InstancePayload",
+    "JsonWireCodec",
     "PipeTransport",
+    "ProtocolVersionError",
+    "QuotaExceededError",
     "RemoteBackend",
     "RemoteEvaluationService",
     "SHARDING_STRATEGIES",
+    "ServerBusyError",
+    "ServerDrainingError",
     "ServerError",
     "ServiceClient",
     "ServiceServer",
@@ -56,6 +71,9 @@ __all__ = [
     "ShardedSQLiteBackend",
     "SocketTransport",
     "TransportError",
+    "UnknownHandleError",
+    "WIRE_VERSION",
+    "WireFormatError",
     "WorkerError",
     "decode_frame",
     "default_shard_count",

@@ -25,6 +25,7 @@ Three layers, each usable on its own:
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -35,6 +36,7 @@ from .protocol import (
     UnknownHandleError,  # noqa: F401 - re-exported: the recovery contract
     connect as connect_transport,
 )
+from .wire import WIRE_VERSION, JsonWireCodec
 from .worker import SATURATION_SPEC_KINDS, SPEC_KINDS, InstancePayload
 
 Row = Tuple[object, ...]
@@ -78,13 +80,55 @@ def payload_content_hash(payload: InstancePayload) -> str:
 
 
 class ServiceClient:
-    """One connection to a persistent evaluation server."""
+    """One connection to a persistent evaluation server.
 
-    def __init__(self, address: str, timeout: float = 10.0):
+    Speaks the versioned tagged-JSON wire format: the connection opens with
+    a ``handshake`` frame carrying the client's wire version, optional auth
+    ``token``, and a ``client`` id the server uses for per-client fairness.
+    ``request_timeout`` bounds every round-trip — a hung server surfaces as
+    :class:`TransportError` instead of blocking ``learn()`` forever (the
+    connection is then closed: after a timeout mid-request the reply stream
+    can no longer be trusted to line up with requests).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 10.0,
+        token: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+        client_name: Optional[str] = None,
+    ):
         self.address = str(address)
-        self._transport = connect_transport(self.address, timeout=timeout)
+        self._transport = connect_transport(
+            self.address,
+            timeout=timeout,
+            request_timeout=request_timeout,
+            codec=JsonWireCodec(),
+        )
         self._lock = threading.Lock()
         self._closed = False
+        self.server_info: Dict[str, object] = {}
+        try:
+            self._transport.send((
+                "handshake",
+                {
+                    "version": WIRE_VERSION,
+                    "token": token,
+                    "client": client_name or f"pid-{os.getpid()}",
+                },
+            ))
+            status, reply = self._transport.recv()
+        except TransportError:
+            self._transport.close()
+            self._closed = True
+            raise
+        if status != "ok":
+            self._transport.close()
+            self._closed = True
+            error_kind, message, remote_traceback = reply
+            raise ServerError(error_kind, message, remote_traceback)
+        self.server_info = reply
 
     def request(self, kind: str, payload: object = None) -> object:
         """One request/reply round-trip (thread-safe, serialized)."""
@@ -93,8 +137,15 @@ class ServiceClient:
                 raise TransportError(
                     f"client to {self.address} is closed"
                 )
-            self._transport.send((kind, payload))
-            status, reply = self._transport.recv()
+            try:
+                self._transport.send((kind, payload))
+                status, reply = self._transport.recv()
+            except TransportError:
+                # Timeout or disconnect mid-request: a late reply would be
+                # misattributed to the next request, so the stream is dead.
+                self._closed = True
+                self._transport.close()
+                raise
         if status == "ok":
             return reply
         error_kind, message, remote_traceback = reply
@@ -108,6 +159,10 @@ class ServiceClient:
 
     def server_stats(self, handle: Optional[str] = None) -> Dict[str, object]:
         return self.request("stats", handle)
+
+    def server_status(self) -> Dict[str, object]:
+        """Operational counters (queue depths, coalescing, drain state)."""
+        return self.request("status")
 
     def unregister(self, handle: str) -> bool:
         return bool(self.request("unregister", handle))
@@ -379,12 +434,16 @@ class RemoteBackend(ShardedSQLiteBackend):
         address: Optional[str] = None,
         client: Optional[ServiceClient] = None,
         handle: Optional[str] = None,
+        token: Optional[str] = None,
+        request_timeout: Optional[float] = None,
     ):
         super().__init__(connection, pool_size)
         self._address = address
         self._client = client
         self._owns_client = client is None
         self._handle = handle
+        self._token = token
+        self._request_timeout = request_timeout
         self._remote: Optional[RemoteEvaluationService] = None
 
     def configure_remote(
@@ -392,6 +451,8 @@ class RemoteBackend(ShardedSQLiteBackend):
         address: Optional[str] = None,
         client: Optional[ServiceClient] = None,
         handle: Optional[str] = None,
+        token: Optional[str] = None,
+        request_timeout: Optional[float] = None,
     ) -> None:
         """Bind the backend to a server before its first batch."""
         if self._remote is not None:
@@ -406,6 +467,10 @@ class RemoteBackend(ShardedSQLiteBackend):
             self._owns_client = False
         if handle is not None:
             self._handle = str(handle)
+        if token is not None:
+            self._token = str(token)
+        if request_timeout is not None:
+            self._request_timeout = float(request_timeout)
 
     def configure_sharding(self, shards=None, strategy=None, transport=None) -> None:
         """The worker fleet lives on the server; its topology is fixed there."""
@@ -427,7 +492,11 @@ class RemoteBackend(ShardedSQLiteBackend):
                         "build the instance through "
                         "LearningSession.connect(address)"
                     )
-                self._client = ServiceClient(self._address)
+                self._client = ServiceClient(
+                    self._address,
+                    token=self._token,
+                    request_timeout=self._request_timeout,
+                )
                 self._owns_client = True
             self._remote = RemoteEvaluationService(
                 self._client,

@@ -1,0 +1,163 @@
+"""Per-handle fair scheduling: a round-robin queue lock with admission control.
+
+PR 5 serialized each handle's batches behind a bare ``threading.RLock``,
+which has two multi-tenant failure modes: lock handoff is whoever-wakes-first
+(one chatty client can starve everyone else sharing the handle), and the
+queue behind the lock is unbounded (a flood of requests pins threads and
+memory until the server falls over).
+
+:class:`FairLock` keeps the mutual exclusion but adds:
+
+* **round-robin fairness** — waiters queue per client id and release hands
+  the lock to the next *client* in rotation, not the next thread to wake;
+* **per-client quotas** — a client with ``client_quota`` requests already
+  waiting on the handle gets a typed :class:`QuotaExceededError` instead of
+  another queue slot;
+* **admission control** — once ``max_queue`` requests are waiting the handle
+  is saturated and new arrivals get :class:`ServerBusyError`;
+* **observability** — queue depth and grant/rejection counters feed the
+  server's ``status`` endpoint.
+
+Non-blocking and bounded-timeout acquires are supported because eviction
+must skip busy handles and ``unregister`` must give up rather than stall.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from .protocol import QuotaExceededError, ServerBusyError
+
+
+class _Waiter:
+    __slots__ = ("event", "client")
+
+    def __init__(self, client: Any):
+        self.event = threading.Event()
+        self.client = client
+
+
+class FairLock:
+    """A non-reentrant lock with per-client round-robin handoff."""
+
+    def __init__(self, max_queue: int = 64, client_quota: int = 8):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if client_quota < 1:
+            raise ValueError("client_quota must be >= 1")
+        self.max_queue = max_queue
+        self.client_quota = client_quota
+        self._mutex = threading.Lock()
+        self._held = False
+        self._queues: Dict[Any, Deque[_Waiter]] = {}
+        self._rotation: Deque[Any] = deque()
+        self._depth = 0
+        self.grants = 0
+        self.rejected_busy = 0
+        self.rejected_quota = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting (excludes the holder)."""
+        return self._depth
+
+    def acquire(
+        self,
+        client: Any = None,
+        blocking: bool = True,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Acquire the lock on behalf of ``client``.
+
+        Returns False on a failed non-blocking or timed-out acquire.  Raises
+        :class:`ServerBusyError` / :class:`QuotaExceededError` when admission
+        control rejects the request outright (blocking mode only).
+        """
+        with self._mutex:
+            # Uncontended-and-no-queue fast path only: a free lock with
+            # waiters still goes through the rotation so nobody queue-jumps.
+            if not self._held and self._depth == 0:
+                self._held = True
+                self.grants += 1
+                return True
+            if not blocking:
+                return False
+            if self._depth >= self.max_queue:
+                self.rejected_busy += 1
+                raise ServerBusyError(
+                    f"handle queue is full ({self.max_queue} waiting); retry later"
+                )
+            queue = self._queues.get(client)
+            if queue is not None and len(queue) >= self.client_quota:
+                self.rejected_quota += 1
+                raise QuotaExceededError(
+                    f"client {client!r} already has {len(queue)} requests "
+                    f"queued on this handle (quota {self.client_quota})"
+                )
+            waiter = _Waiter(client)
+            if queue is None:
+                queue = self._queues[client] = deque()
+                self._rotation.append(client)
+            queue.append(waiter)
+            self._depth += 1
+        if waiter.event.wait(timeout):
+            return True
+        with self._mutex:
+            if waiter.event.is_set():
+                # Ownership was handed to us between the timeout expiring
+                # and re-taking the mutex; accept the grant.
+                return True
+            queue = self._queues.get(client)
+            if queue is not None:
+                try:
+                    queue.remove(waiter)
+                    self._depth -= 1
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not queue:
+                    del self._queues[client]
+                    try:
+                        self._rotation.remove(client)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+            return False
+
+    def release(self) -> None:
+        """Release the lock, handing it to the next client in rotation."""
+        with self._mutex:
+            if not self._held:
+                raise RuntimeError("release of an unheld FairLock")
+            while self._rotation:
+                client = self._rotation.popleft()
+                queue = self._queues.get(client)
+                if not queue:
+                    self._queues.pop(client, None)
+                    continue
+                waiter = queue.popleft()
+                self._depth -= 1
+                if queue:
+                    self._rotation.append(client)
+                else:
+                    del self._queues[client]
+                self.grants += 1
+                # _held stays True: ownership transfers to the waiter.
+                waiter.event.set()
+                return
+            self._held = False
+
+    def __enter__(self) -> "FairLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "queue_depth": self._depth,
+            "grants": self.grants,
+            "rejected_busy": self.rejected_busy,
+            "rejected_quota": self.rejected_quota,
+        }

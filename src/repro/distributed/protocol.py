@@ -1,20 +1,25 @@
-"""Length-prefixed pickle framing and the two shard transports.
+"""Length-prefixed framing, pluggable codecs, and the two shard transports.
 
-The evaluation service speaks one wire format everywhere: a message is a
-picklable Python object encoded as ``4-byte big-endian length || pickle
-bytes``.  Locally the frames travel over :mod:`multiprocessing` pipes
-(:class:`PipeTransport`); a worker may equally run out-of-process — even on
-another host — behind a TCP socket (:class:`SocketTransport`).  Both ends of
-either transport exchange ``(kind, payload)`` tuples; the codec is shared so
-a worker cannot tell which transport carried a request.
+A message is a ``(kind, payload)`` tuple encoded as ``4-byte big-endian
+length || body``.  What the body *is* depends on the codec the transport was
+built with:
 
-Security note: frames are **pickle**, so the service must only ever be
-connected to trusted workers on trusted networks (the same trust model as
-``multiprocessing`` itself).  See ``docs/distributed.md``.
+* :class:`PickleCodec` (default) — pickle bytes.  Used only on the trusted
+  in-process seam between the coordinator and the shard workers it spawned
+  (pipes, or loopback sockets verified with a spawn nonce before any pickle
+  flows — see :func:`auth_proof`).
+* ``wire.JsonWireCodec`` — the versioned tagged-JSON envelope
+  (``{"v": 1, "kind": ..., "payload": ...}``).  Used on the client/server
+  socket seam, where peers are untrusted: decoding never executes bytes.
+
+Both transports enforce :data:`MAX_FRAME_BYTES` *before* allocating a body,
+so a hostile length header cannot trigger a multi-GiB allocation.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import pickle
 import socket
 import struct
@@ -29,7 +34,7 @@ MAX_FRAME_BYTES = 1 << 30
 
 
 class TransportError(ConnectionError):
-    """The peer went away (closed pipe/socket, dead process, reset)."""
+    """The peer went away (closed pipe/socket, dead process, reset, timeout)."""
 
 
 class UnknownHandleError(KeyError):
@@ -46,23 +51,68 @@ class UnknownHandleError(KeyError):
         return self.args[0] if self.args else ""
 
 
-def encode_frame(message: object) -> bytes:
-    """Serialize one message into a length-prefixed pickle frame."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+class AuthenticationError(PermissionError):
+    """The connection did not present the server's auth token."""
+
+
+class ProtocolVersionError(ConnectionError):
+    """The peer speaks a different wire-format version (or none at all)."""
+
+
+class HandleBusyError(RuntimeError):
+    """The handle is mid-batch and the bounded wait expired; retry later."""
+
+
+class QuotaExceededError(RuntimeError):
+    """One client has too many requests queued on a single handle."""
+
+
+class ServerBusyError(RuntimeError):
+    """A handle's request queue is at capacity; back off and retry."""
+
+
+class ServerDrainingError(RuntimeError):
+    """The server is draining for shutdown and no longer accepts work."""
+
+
+class PickleCodec:
+    """Executable codec for the trusted coordinator/worker seam only."""
+
+    name = "pickle"
+
+    @staticmethod
+    def encode(message: object) -> bytes:
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def decode(body: bytes) -> object:
+        return pickle.loads(body)
+
+
+_PICKLE_CODEC = PickleCodec()
+
+
+def encode_frame(message: object, codec=None) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = (codec or _PICKLE_CODEC).encode(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(payload)} bytes exceeds limit")
     return _HEADER.pack(len(payload)) + payload
 
 
-def decode_frame(frame: bytes) -> object:
+def decode_frame(frame: bytes, codec=None) -> object:
     """Inverse of :func:`encode_frame` (validates the embedded length)."""
     if len(frame) < _HEADER.size:
         raise TransportError(f"truncated frame: {len(frame)} bytes")
     (length,) = _HEADER.unpack_from(frame)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {length} bytes exceeds limit")
     body = frame[_HEADER.size :]
     if length != len(body):
         raise TransportError(
             f"frame length header says {length} bytes, got {len(body)}"
         )
-    return pickle.loads(body)
+    return (codec or _PICKLE_CODEC).decode(body)
 
 
 class PipeTransport:
@@ -73,21 +123,30 @@ class PipeTransport:
     identical to what the socket transport would carry.
     """
 
-    def __init__(self, connection):
+    def __init__(self, connection, codec=None):
         self._connection = connection
+        self._codec = codec or _PICKLE_CODEC
+        #: Size of the most recently received frame (header + body); the
+        #: server uses it as an honest measure of payload memory footprint.
+        self.last_recv_bytes = 0
 
     def send(self, message: object) -> None:
         try:
-            self._connection.send_bytes(encode_frame(message))
+            self._connection.send_bytes(encode_frame(message, self._codec))
         except (OSError, ValueError, BrokenPipeError) as exc:
             raise TransportError(f"pipe send failed: {exc}") from exc
 
     def recv(self) -> object:
         try:
-            frame = self._connection.recv_bytes()
-        except (EOFError, OSError) as exc:
+            # maxlength bounds the allocation *before* any bytes land; the
+            # header check in decode_frame alone would run after
+            # Connection.recv_bytes() has already materialised the buffer.
+            # MAX_FRAME_BYTES is read at call time so tests can shrink it.
+            frame = self._connection.recv_bytes(MAX_FRAME_BYTES + _HEADER.size)
+        except (EOFError, OSError, ValueError) as exc:
             raise TransportError(f"pipe closed: {exc}") from exc
-        return decode_frame(frame)
+        self.last_recv_bytes = len(frame)
+        return decode_frame(frame, self._codec)
 
     def close(self) -> None:
         try:
@@ -99,8 +158,10 @@ class PipeTransport:
 class SocketTransport:
     """Frames over a stream socket (a worker on another host, or localhost)."""
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket, codec=None):
         self._socket = sock
+        self._codec = codec or _PICKLE_CODEC
+        self.last_recv_bytes = 0
         # Batch requests are single frames; latency beats throughput here.
         try:
             self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -109,7 +170,9 @@ class SocketTransport:
 
     def send(self, message: object) -> None:
         try:
-            self._socket.sendall(encode_frame(message))
+            self._socket.sendall(encode_frame(message, self._codec))
+        except socket.timeout as exc:
+            raise TransportError(f"socket send timed out: {exc}") from exc
         except OSError as exc:
             raise TransportError(f"socket send failed: {exc}") from exc
 
@@ -119,6 +182,8 @@ class SocketTransport:
         while remaining:
             try:
                 chunk = self._socket.recv(min(remaining, 1 << 20))
+            except socket.timeout as exc:
+                raise TransportError(f"socket recv timed out: {exc}") from exc
             except OSError as exc:
                 raise TransportError(f"socket recv failed: {exc}") from exc
             if not chunk:
@@ -132,7 +197,15 @@ class SocketTransport:
         (length,) = _HEADER.unpack(header)
         if length > MAX_FRAME_BYTES:
             raise TransportError(f"frame of {length} bytes exceeds limit")
-        return decode_frame(header + self._recv_exact(length))
+        self.last_recv_bytes = _HEADER.size + length
+        return decode_frame(header + self._recv_exact(length), self._codec)
+
+    def set_timeout(self, value: Optional[float]) -> None:
+        """Adjust the socket deadline (None = block indefinitely)."""
+        try:
+            self._socket.settimeout(value)
+        except OSError:
+            pass
 
     def close(self) -> None:
         try:
@@ -153,9 +226,75 @@ def parse_address(address: str) -> Tuple[str, int]:
     return host, int(port)
 
 
-def connect(address: str, timeout: Optional[float] = None) -> SocketTransport:
-    """Open a socket transport to a listening worker (``host:port``)."""
+def connect(
+    address: str,
+    timeout: Optional[float] = None,
+    request_timeout: Optional[float] = None,
+    codec=None,
+) -> SocketTransport:
+    """Open a socket transport to a listening peer (``host:port``).
+
+    ``timeout`` bounds the TCP connect; ``request_timeout`` stays on the
+    socket afterwards so a hung peer surfaces as :class:`TransportError`
+    instead of blocking forever (``None`` preserves the old blocking
+    behaviour).
+    """
     host, port = parse_address(address)
     sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(None)
-    return SocketTransport(sock)
+    sock.settimeout(request_timeout)
+    return SocketTransport(sock, codec=codec)
+
+
+# ---------------------------------------------------------------------------
+# Raw-bytes auth preamble for pickle-speaking worker sockets.
+#
+# Spawned socket workers dial back to the coordinator (and standalone workers
+# accept coordinator dials); because that seam speaks pickle, the *listening*
+# side must prove the peer knows a shared secret before it unpickles a single
+# frame.  The proof is fixed-size raw bytes — no parsing, no allocation
+# driven by peer input.
+
+_AUTH_MAGIC = b"RPAUTH1\n"
+AUTH_PROOF_BYTES = len(_AUTH_MAGIC) + hashlib.sha256().digest_size
+
+
+def auth_proof(secret: str) -> bytes:
+    """The fixed-size preamble a connecting peer sends to prove the secret."""
+    return _AUTH_MAGIC + hashlib.sha256(secret.encode("utf-8")).digest()
+
+
+def send_auth_proof(sock: socket.socket, secret: str) -> None:
+    """Send the auth preamble on a just-connected socket."""
+    try:
+        sock.sendall(auth_proof(secret))
+    except OSError as exc:
+        raise TransportError(f"auth preamble send failed: {exc}") from exc
+
+
+def verify_auth_proof(
+    sock: socket.socket, secret: str, timeout: float = 10.0
+) -> bool:
+    """Read and check the auth preamble; True iff the peer knows ``secret``.
+
+    Runs before any pickle decode.  On mismatch or timeout the caller must
+    close the socket without reading further.
+    """
+    expected = auth_proof(secret)
+    previous = sock.gettimeout()
+    sock.settimeout(timeout)
+    try:
+        received = b""
+        while len(received) < AUTH_PROOF_BYTES:
+            try:
+                chunk = sock.recv(AUTH_PROOF_BYTES - len(received))
+            except OSError:
+                return False
+            if not chunk:
+                return False
+            received += chunk
+        return hmac.compare_digest(received, expected)
+    finally:
+        try:
+            sock.settimeout(previous)
+        except OSError:
+            pass

@@ -16,12 +16,18 @@ saturation-warm-up again), the server keeps everything warm:
   saturation stores survive across runs and across client connections;
 * multiple concurrent sessions share the server: connections are served by
   one thread each, batches on *different* handles run in parallel, batches
-  on the *same* handle serialize on that handle's lock (the underlying
-  service fan-out is already concurrent internally).
+  on the *same* handle serialize on that handle's :class:`FairLock` with
+  round-robin handoff between clients, per-client quotas, and a bounded
+  admission queue; structurally identical concurrent batches coalesce into
+  one computation.
 
-The wire format is the same length-prefixed pickle framing the shard
-workers speak (:mod:`repro.distributed.protocol`), with the same trust
-model: pickle frames, trusted clients, trusted networks only.
+Unlike the trusted worker seam, clients are **untrusted**: the socket
+speaks the versioned tagged-JSON envelope (:mod:`repro.distributed.wire`) —
+no pickle, nothing executable — every connection must open with a
+``handshake`` frame carrying the wire version (and the auth token when the
+server was started with one), and request dispatch goes through an explicit
+allowlist table.  ``SIGTERM`` drains gracefully: stop accepting, finish
+in-flight batches, exit 0.
 
 Clients normally do not speak this protocol directly — they use
 :class:`repro.session.LearningSession.connect` (or, one level down,
@@ -30,32 +36,75 @@ Clients normally do not speak this protocol directly — they use
 
 from __future__ import annotations
 
+import contextlib
+import hmac
 import itertools
 import os
 import socket
 import threading
+import time
 import traceback
 from typing import Dict, List, Optional, Set, Tuple
 
-from .protocol import SocketTransport, TransportError, UnknownHandleError
+from . import wire
+from .fairness import FairLock
+from .protocol import (
+    HandleBusyError,
+    ServerDrainingError,
+    SocketTransport,
+    TransportError,
+    UnknownHandleError,
+)
 from .service import TRANSPORTS, EvaluationService
 from .sharding import DEFAULT_STRATEGY, SHARDING_STRATEGIES
+from .wire import WIRE_VERSION, WireFormatError
 
 Row = Tuple[object, ...]
+
+#: Request kinds still answered while the server is draining: read-only
+#: introspection plus shutdown itself.  Everything else gets a typed
+#: ServerDrainingError so clients fail over instead of queueing work a
+#: dying server will never run.
+_DRAIN_ALLOWED = frozenset({"ping", "hello", "stats", "status"})
+
+
+class _RequestContext:
+    """Per-request metadata threaded into every handler."""
+
+    __slots__ = ("client", "frame_bytes")
+
+    def __init__(self, client: Optional[str], frame_bytes: int = 0):
+        self.client = client
+        self.frame_bytes = int(frame_bytes)
+
+
+class _InflightBatch:
+    """One coalesced computation: the leader fills it, followers wait."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.error: Optional[BaseException] = None
 
 
 class ServedInstance:
     """One registered instance: payload version + its warm worker fleet."""
 
-    def __init__(self, handle: str):
+    def __init__(self, handle: str, max_queue: int = 64, client_quota: int = 8):
         self.handle = str(handle)
         self.content_hash: Optional[str] = None
         self.payload = None
+        self.payload_bytes = 0
         self.service: Optional[EvaluationService] = None
         # Serializes batches per handle; the service's own fan-out is
         # concurrent internally, but its sticky assigner and reload check
         # are not safe under interleaved batches from two connections.
-        self.lock = threading.RLock()
+        # FairLock adds round-robin handoff between clients plus bounded
+        # admission, where the old RLock admitted unbounded waiters in
+        # wake-order.
+        self.lock = FairLock(max_queue=max_queue, client_quota=client_quota)
         self.loads = 0
         self.batches = 0
         self.register_hits = 0
@@ -69,6 +118,7 @@ class ServedInstance:
         # dropped too, so a closed orphan can never look loadable or warm.
         self.closed = True
         self.payload = None
+        self.payload_bytes = 0
         self.content_hash = None
         if self.service is not None:
             self.service.close()
@@ -76,12 +126,16 @@ class ServedInstance:
 
     def stats(self) -> Dict[str, object]:
         service = self.service
+        probes = self.register_hits + self.loads
         return {
             "handle": self.handle,
             "content_hash": self.content_hash,
             "loads": self.loads,
             "batches": self.batches,
             "register_hits": self.register_hits,
+            "hit_rate": (self.register_hits / probes) if probes else 0.0,
+            "payload_bytes": self.payload_bytes,
+            "queue": self.lock.stats(),
             "reloads_full": service.reloads_full if service else 0,
             "reloads_incremental": (
                 service.reloads_incremental if service else 0
@@ -101,6 +155,13 @@ class ServiceServer:
         strategy: str = DEFAULT_STRATEGY,
         transport: str = "pipe",
         max_instances: int = 32,
+        auth_token: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+        max_queue: int = 64,
+        client_quota: int = 8,
+        unregister_wait: float = 2.0,
+        drain_timeout: float = 30.0,
+        handshake_timeout: float = 30.0,
     ):
         if strategy not in SHARDING_STRATEGIES:
             raise ValueError(
@@ -115,12 +176,48 @@ class ServiceServer:
         self.strategy = strategy
         self.transport = transport
         self.max_instances = max(1, int(max_instances))
+        self.auth_token = auth_token
+        self.memory_budget_bytes = (
+            None if memory_budget_bytes is None else max(0, int(memory_budget_bytes))
+        )
+        self.max_queue = max(1, int(max_queue))
+        self.client_quota = max(1, int(client_quota))
+        self.unregister_wait = float(unregister_wait)
+        self.drain_timeout = float(drain_timeout)
+        self.handshake_timeout = float(handshake_timeout)
+        self._codec = wire.JsonWireCodec()
         self._instances: Dict[str, ServedInstance] = {}
         self._lock = threading.Lock()
         self._use_counter = itertools.count(1)
         self._shutdown = threading.Event()
+        self._drain_requested = threading.Event()
+        self._draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._client_transports: Set[SocketTransport] = set()
+        self._transports_lock = threading.Lock()
+        self._inflight_batches: Dict[str, _InflightBatch] = {}
+        self._coalesce_lock = threading.Lock()
+        self.batches_coalesced = 0
+        self.handshakes_rejected = 0
         self.payloads_received = 0
         self.connections_served = 0
+        # Explicit allowlist: request kinds map to bound handlers.  The old
+        # getattr(self, f"handle_{kind}") dispatch let any same-prefix
+        # method become wire-reachable by accident; this table is the whole
+        # attack surface.
+        self._handlers = {
+            "ping": self.handle_ping,
+            "hello": self.handle_hello,
+            "register": self.handle_register,
+            "load": self.handle_load,
+            "coverage_batch": self.handle_coverage_batch,
+            "materialize_saturations": self.handle_materialize_saturations,
+            "query_batch": self.handle_query_batch,
+            "stats": self.handle_stats,
+            "status": self.handle_status,
+            "unregister": self.handle_unregister,
+        }
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, int(port)))
@@ -135,24 +232,30 @@ class ServiceServer:
         return f"{host}:{port}"
 
     def serve_forever(self) -> None:
-        """Accept client connections until :meth:`shutdown`."""
+        """Accept client connections until :meth:`shutdown` or drain."""
         self._listener.settimeout(0.5)
         try:
             while not self._shutdown.is_set():
+                if self._drain_requested.is_set():
+                    self._drain()
+                    break
                 try:
                     conn, _peer = self._listener.accept()
                 except socket.timeout:
                     continue
                 except OSError:
                     break  # listener closed under us by shutdown()
-                conn.settimeout(None)
+                # Bounded until the handshake completes so a connect-and-say
+                # -nothing client cannot park a thread forever; the client
+                # loop lifts the deadline once the peer has authenticated.
+                conn.settimeout(self.handshake_timeout)
                 self.connections_served += 1
                 # Daemon threads, deliberately untracked: a connection
-                # lives until its client disconnects (or process exit);
-                # shutdown() closes the fleets, not the idle sockets.
+                # lives until its client disconnects (or server close);
+                # _close_all() severs any that remain.
                 threading.Thread(
                     target=self._client_loop,
-                    args=(SocketTransport(conn),),
+                    args=(SocketTransport(conn, codec=self._codec),),
                     daemon=True,
                     name=f"repro-server-client-{self.connections_served}",
                 ).start()
@@ -175,6 +278,33 @@ class ServiceServer:
         except OSError:
             pass
 
+    def request_drain(self) -> None:
+        """Begin a graceful drain (the SIGTERM path).
+
+        The accept loop notices the flag, stops accepting, lets in-flight
+        requests finish (bounded by ``drain_timeout``), then shuts down.
+        Safe to call from a signal handler.
+        """
+        self._drain_requested.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _drain(self) -> None:
+        self._draining = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        deadline = time.monotonic() + self.drain_timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.05)
+        self._shutdown.set()
+
     def _close_all(self) -> None:
         with self._lock:
             served_list = list(self._instances.values())
@@ -182,6 +312,24 @@ class ServiceServer:
         for served in served_list:
             with served.lock:
                 served.close()
+        # Sever surviving client connections so their threads (and any
+        # client blocked on a reply) observe the shutdown instead of
+        # hanging on a socket nobody will ever write to again.
+        with self._transports_lock:
+            transports = list(self._client_transports)
+            self._client_transports.clear()
+        for transport in transports:
+            transport.close()
+
+    @contextlib.contextmanager
+    def _track_inflight(self):
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
 
     # ------------------------------------------------------------------ #
     # Handle registry
@@ -199,13 +347,22 @@ class ServiceServer:
             )
         return self._touch(served)
 
+    def _new_instance(self, handle: str) -> ServedInstance:
+        return ServedInstance(
+            handle, max_queue=self.max_queue, client_quota=self.client_quota
+        )
+
     def _get_or_create(self, handle: str) -> ServedInstance:
         victims: List[ServedInstance] = []
         with self._lock:
             served = self._instances.get(handle)
             if served is None:
-                victims = self._pop_lru_victims_locked()
-                served = self._instances[handle] = ServedInstance(handle)
+                victims = self._pop_lru_victims_locked(creating=True)
+                served = self._instances[handle] = self._new_instance(handle)
+        self._close_victims(victims)
+        return self._touch(served)
+
+    def _close_victims(self, victims: List[ServedInstance]) -> None:
         # Fleet teardown can take seconds; do it OUTSIDE the registry lock
         # so one new registration never stalls every in-flight session.
         # Each victim's own lock was acquired (non-blocking) under the
@@ -215,18 +372,28 @@ class ServiceServer:
                 victim.close()
             finally:
                 victim.lock.release()
-        return self._touch(served)
 
-    def _pop_lru_victims_locked(self) -> List[ServedInstance]:
-        """Remove least-recently-used idle handles down to the cap.
+    def _over_capacity_locked(self, creating: bool) -> bool:
+        if len(self._instances) + (1 if creating else 0) > self.max_instances:
+            return True
+        if self.memory_budget_bytes is not None:
+            total = sum(s.payload_bytes for s in self._instances.values())
+            return total > self.memory_budget_bytes
+        return False
 
-        Returns the removed instances with their locks held; the caller
-        closes them after releasing the registry lock.  Handles mid-batch
-        (lock held elsewhere) are skipped — the registry then grows past
-        the soft cap instead of blocking.
+    def _pop_lru_victims_locked(self, creating: bool = False) -> List[ServedInstance]:
+        """Remove least-recently-used idle handles down to the caps.
+
+        Capacity is both a handle count (``max_instances``) and, when
+        configured, a payload-byte budget (``memory_budget_bytes``) — a
+        handful of giant instances can exhaust memory long before the
+        count cap bites.  Returns the removed instances with their locks
+        held; the caller closes them after releasing the registry lock.
+        Handles mid-batch (lock held elsewhere) are skipped — the registry
+        then grows past the soft caps instead of blocking.
         """
         victims: List[ServedInstance] = []
-        while len(self._instances) >= self.max_instances:
+        while self._over_capacity_locked(creating):
             for candidate in sorted(
                 self._instances.values(), key=lambda s: s.last_used
             ):
@@ -237,6 +404,12 @@ class ServiceServer:
             else:
                 break  # everything busy
         return victims
+
+    def _evict_over_budget(self) -> None:
+        """Trim the registry after a payload install changed its footprint."""
+        with self._lock:
+            victims = self._pop_lru_victims_locked()
+        self._close_victims(victims)
 
     def _service_for(self, served: ServedInstance) -> EvaluationService:
         if served.closed:
@@ -262,13 +435,60 @@ class ServiceServer:
             served.service.start()
         return served.service
 
+    @contextlib.contextmanager
+    def _locked(self, served: ServedInstance, ctx: Optional[_RequestContext]):
+        served.lock.acquire(client=ctx.client if ctx is not None else None)
+        try:
+            yield
+        finally:
+            served.lock.release()
+
     # ------------------------------------------------------------------ #
-    # Request handlers
+    # Batch coalescing
     # ------------------------------------------------------------------ #
-    def handle_ping(self, _payload) -> str:
+    def _coalesced(self, kind: str, payload, compute):
+        """Share one computation between structurally identical requests.
+
+        Concurrent clients frequently issue the same batch (cross-validation
+        folds racing over one dataset, a retried request).  The first
+        arrival becomes the leader and computes; followers with the same
+        canonical payload digest wait on the leader's result instead of
+        queueing a duplicate batch behind the handle lock.
+        """
+        try:
+            key = wire.payload_digest(kind, payload)
+        except WireFormatError:
+            return compute()  # unkeyable payload: fall through uncoalesced
+        with self._coalesce_lock:
+            batch = self._inflight_batches.get(key)
+            leader = batch is None
+            if leader:
+                batch = self._inflight_batches[key] = _InflightBatch()
+            else:
+                self.batches_coalesced += 1
+        if not leader:
+            batch.event.wait()
+            if batch.error is not None:
+                raise batch.error
+            return batch.result
+        try:
+            batch.result = compute()
+            return batch.result
+        except BaseException as exc:
+            batch.error = exc
+            raise
+        finally:
+            with self._coalesce_lock:
+                self._inflight_batches.pop(key, None)
+            batch.event.set()
+
+    # ------------------------------------------------------------------ #
+    # Request handlers (the wire-reachable allowlist)
+    # ------------------------------------------------------------------ #
+    def handle_ping(self, _payload, _ctx) -> str:
         return "pong"
 
-    def handle_hello(self, _payload) -> Dict[str, object]:
+    def handle_hello(self, _payload, _ctx) -> Dict[str, object]:
         with self._lock:
             handles = list(self._instances)
         return {
@@ -278,7 +498,7 @@ class ServiceServer:
             "handles": handles,
         }
 
-    def handle_register(self, payload) -> Dict[str, object]:
+    def handle_register(self, payload, ctx) -> Dict[str, object]:
         """Probe a (handle, content hash) pair: is a payload ship needed?
 
         Content-hash data versioning is what makes repeat runs free: when
@@ -288,7 +508,7 @@ class ServiceServer:
         """
         handle, content_hash = payload
         served = self._get_or_create(handle)
-        with served.lock:
+        with self._locked(served, ctx):
             warm = (
                 served.content_hash == content_hash
                 and served.payload is not None
@@ -300,13 +520,17 @@ class ServiceServer:
                 "known": served.content_hash is not None,
             }
 
-    def handle_load(self, payload) -> Dict[str, object]:
+    def handle_load(self, payload, ctx) -> Dict[str, object]:
         """Install (or replace) a handle's payload and warm its fleet."""
         handle, content_hash, instance_payload = payload
         served = self._get_or_create(handle)
-        with served.lock:
+        with self._locked(served, ctx):
             served.payload = instance_payload
             served.content_hash = content_hash
+            # The request frame carries the encoded payload, so its size is
+            # an honest upper bound on what this handle pins in memory; the
+            # byte-budget eviction keys on it.
+            served.payload_bytes = ctx.frame_bytes if ctx is not None else 0
             served.loads += 1
             self.payloads_received += 1
             service = self._service_for(served)
@@ -315,6 +539,7 @@ class ServiceServer:
             # sync here keeps "load" = "workers current" for the client.
             service._ensure_ready()
             tuples = sum(len(r) for r in instance_payload.rows.values())
+        self._evict_over_budget()
         return {"handle": handle, "tuples": tuples, "loads": served.loads}
 
     def _check_version(
@@ -333,11 +558,16 @@ class ServiceServer:
                 f"server holds a different data version; re-register"
             )
 
-    def handle_coverage_batch(self, payload) -> List[List[int]]:
+    def handle_coverage_batch(self, payload, ctx) -> List[List[int]]:
         """Subsumption/Castor coverage; returns global index lists per clause."""
+        return self._coalesced(
+            "coverage_batch", payload, lambda: self._coverage_batch(payload, ctx)
+        )
+
+    def _coverage_batch(self, payload, ctx) -> List[List[int]]:
         handle, content_hash, spec, clauses, examples, parallelism = payload
         served = self._get(handle)
-        with served.lock:
+        with self._locked(served, ctx):
             self._check_version(served, content_hash)
             service = self._service_for(served)
             covered_lists = service.covered_examples_batch(
@@ -359,10 +589,17 @@ class ServiceServer:
             indices.append(per_clause)
         return indices
 
-    def handle_materialize_saturations(self, payload) -> List[object]:
+    def handle_materialize_saturations(self, payload, ctx) -> List[object]:
+        return self._coalesced(
+            "materialize_saturations",
+            payload,
+            lambda: self._materialize_saturations(payload, ctx),
+        )
+
+    def _materialize_saturations(self, payload, ctx) -> List[object]:
         handle, content_hash, spec, examples, variablize, parallelism = payload
         served = self._get(handle)
-        with served.lock:
+        with self._locked(served, ctx):
             self._check_version(served, content_hash)
             service = self._service_for(served)
             clauses = service.materialize_saturations(
@@ -374,10 +611,15 @@ class ServiceServer:
             served.batches += 1
         return clauses
 
-    def handle_query_batch(self, payload) -> List[Set[Row]]:
+    def handle_query_batch(self, payload, ctx) -> List[Set[Row]]:
+        return self._coalesced(
+            "query_batch", payload, lambda: self._query_batch(payload, ctx)
+        )
+
+    def _query_batch(self, payload, ctx) -> List[Set[Row]]:
         handle, content_hash, clauses, candidates, parallelism = payload
         served = self._get(handle)
-        with served.lock:
+        with self._locked(served, ctx):
             self._check_version(served, content_hash)
             service = self._service_for(served)
             covered = service.covered_candidates_batch(
@@ -386,7 +628,7 @@ class ServiceServer:
             served.batches += 1
         return covered
 
-    def handle_stats(self, payload) -> Dict[str, object]:
+    def handle_stats(self, payload, _ctx) -> Dict[str, object]:
         handle = payload
         if handle is not None:
             return self._get(handle).stats()
@@ -399,72 +641,217 @@ class ServiceServer:
             "instances": {s.handle: s.stats() for s in served_list},
         }
 
-    def handle_unregister(self, payload) -> bool:
+    def handle_status(self, _payload, _ctx) -> Dict[str, object]:
+        """Operational counters for dashboards and the CI smoke."""
+        with self._lock:
+            served_list = list(self._instances.values())
+        with self._inflight_lock:
+            inflight = self._inflight
+        handles = {s.handle: s.stats() for s in served_list}
+        return {
+            "pid": os.getpid(),
+            "wire_version": WIRE_VERSION,
+            "auth_required": self.auth_token is not None,
+            "draining": self._draining,
+            "inflight_requests": inflight,
+            "connections_served": self.connections_served,
+            "payloads_received": self.payloads_received,
+            "batches_coalesced": self.batches_coalesced,
+            "handshakes_rejected": self.handshakes_rejected,
+            "instances": len(served_list),
+            "max_instances": self.max_instances,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "payload_bytes_total": sum(s.payload_bytes for s in served_list),
+            "queue_depth_total": sum(s.lock.queue_depth for s in served_list),
+            "handles": handles,
+        }
+
+    def handle_unregister(self, payload, ctx) -> bool:
         handle = payload
         with self._lock:
-            served = self._instances.pop(handle, None)
+            served = self._instances.get(handle)
         if served is None:
             return False
-        with served.lock:
+        # Bounded wait: a handle mid-batch returns a typed, retryable error
+        # instead of stalling this connection's thread indefinitely (the
+        # old code popped the registry entry first and then blocked).
+        if not served.lock.acquire(
+            client=ctx.client if ctx is not None else None,
+            timeout=self.unregister_wait,
+        ):
+            raise HandleBusyError(
+                f"instance handle {handle!r} is busy; retry unregister later"
+            )
+        try:
+            with self._lock:
+                if self._instances.get(handle) is not served:
+                    return False  # lost a race with another unregister/evict
+                del self._instances[handle]
             served.close()
+        finally:
+            served.lock.release()
         return True
 
     # ------------------------------------------------------------------ #
     # Connection loop
     # ------------------------------------------------------------------ #
-    def _client_loop(self, transport: SocketTransport) -> None:
-        """Serve one client connection until it disconnects.
+    def _reject_handshake(
+        self, transport: SocketTransport, error_type: str, message: str
+    ) -> None:
+        self.handshakes_rejected += 1
+        self._send_reply(transport, ("error", (error_type, message, "")))
 
-        Mirrors the shard worker's loop: replies are ``("ok", result)`` or
-        ``("error", (type, message, traceback))``; an exception in a handler
-        never kills the server.  Client loss only ends the connection — the
-        registered instances and their fleets stay warm for the next one.
+    def _handshake(self, transport: SocketTransport) -> Optional[str]:
+        """Gate every connection on version + token before any dispatch.
+
+        Returns the negotiated client id, or None when the connection was
+        rejected (a typed error reply is sent best-effort first).  Because
+        no request reaches a handler without this returning an id, *every*
+        request kind — shutdown_server and unregister included — is
+        unreachable for unauthenticated peers.
         """
         try:
+            message = transport.recv()
+        except WireFormatError as exc:
+            # Old pickle clients (and fuzzers) land here: the frame is
+            # length-prefixed but the body is not a v1 JSON envelope.
+            self._reject_handshake(
+                transport,
+                "ProtocolVersionError",
+                f"not a v{WIRE_VERSION} envelope frame ({exc}); "
+                f"pickle-era clients must upgrade to the JSON wire format",
+            )
+            return None
+        except TransportError:
+            return None
+        try:
+            kind, payload = message
+        except (TypeError, ValueError):
+            kind, payload = None, None
+        if kind != "handshake" or not isinstance(payload, dict):
+            self._reject_handshake(
+                transport,
+                "AuthenticationError" if self.auth_token else "ProtocolVersionError",
+                "connection must open with a handshake frame before any request",
+            )
+            return None
+        version = payload.get("version")
+        if version != WIRE_VERSION:
+            self._reject_handshake(
+                transport,
+                "ProtocolVersionError",
+                f"client wire version {version!r} is not supported; "
+                f"this server speaks version {WIRE_VERSION}",
+            )
+            return None
+        if self.auth_token is not None:
+            token = payload.get("token")
+            if not isinstance(token, str) or not hmac.compare_digest(
+                token, self.auth_token
+            ):
+                self._reject_handshake(
+                    transport,
+                    "AuthenticationError",
+                    "missing or invalid auth token",
+                )
+                return None
+        client = payload.get("client")
+        client_id = str(client) if client else f"conn-{self.connections_served}"
+        accepted = self._send_reply(
+            transport,
+            (
+                "ok",
+                {
+                    "version": WIRE_VERSION,
+                    "pid": os.getpid(),
+                    "auth_required": self.auth_token is not None,
+                    "server": "repro-evaluation-server",
+                },
+            ),
+        )
+        return client_id if accepted else None
+
+    def _send_reply(self, transport: SocketTransport, reply) -> bool:
+        try:
+            transport.send(reply)
+            return True
+        except WireFormatError as exc:
+            # The *reply* failed to encode (handler returned something the
+            # wire format cannot carry).  Tell the client rather than
+            # leaving its request forever unanswered.
+            try:
+                transport.send(
+                    ("error", ("WireFormatError", f"reply not encodable: {exc}", ""))
+                )
+                return True
+            except (TransportError, WireFormatError):
+                return False
+        except TransportError:
+            return False
+
+    def _client_loop(self, transport: SocketTransport) -> None:
+        """Serve one authenticated client connection until it disconnects.
+
+        Replies are ``("ok", result)`` or ``("error", (type, message,
+        traceback))``; an exception in a handler never kills the server.
+        Client loss only ends the connection — the registered instances and
+        their fleets stay warm for the next one.
+        """
+        with self._transports_lock:
+            self._client_transports.add(transport)
+        try:
+            client_id = self._handshake(transport)
+            if client_id is None:
+                return
+            transport.set_timeout(None)  # handshake deadline no longer applies
             while not self._shutdown.is_set():
                 try:
                     message = transport.recv()
-                except TransportError:
-                    break
-                try:
-                    kind, payload = message
-                except (TypeError, ValueError) as exc:
-                    # A malformed frame gets an error reply like any other
-                    # bad input instead of silently killing the connection.
-                    try:
-                        transport.send((
-                            "error",
-                            (
-                                type(exc).__name__,
-                                f"malformed request frame: {exc}",
-                                traceback.format_exc(),
-                            ),
-                        ))
-                    except TransportError:
+                except WireFormatError as exc:
+                    # Malformed post-handshake frame: the stream is still
+                    # aligned (framing is independent of the body), so
+                    # answer with a typed error and keep serving.
+                    if not self._send_reply(
+                        transport, ("error", ("WireFormatError", str(exc), ""))
+                    ):
                         break
                     continue
-                if kind == "shutdown_server":
-                    try:
-                        transport.send(("ok", None))
-                    except TransportError:
-                        pass
-                    self.shutdown()
-                    break
-                handler = getattr(self, f"handle_{kind}", None)
-                try:
-                    if handler is None:
-                        raise ValueError(f"unknown request kind {kind!r}")
-                    reply = ("ok", handler(payload))
-                except Exception as exc:  # noqa: BLE001 - forwarded to client
-                    reply = (
-                        "error",
-                        (type(exc).__name__, str(exc), traceback.format_exc()),
-                    )
-                try:
-                    transport.send(reply)
                 except TransportError:
                     break
+                kind, payload = message
+                if kind == "shutdown_server":
+                    self._send_reply(transport, ("ok", None))
+                    self.shutdown()
+                    break
+                ctx = _RequestContext(
+                    client_id, getattr(transport, "last_recv_bytes", 0)
+                )
+                # The reply send sits INSIDE the inflight window: a drain
+                # that waited only for handlers to return could sever the
+                # transport before the final reply flushed, turning
+                # "finish in-flight batches" into a coin flip.
+                with self._track_inflight():
+                    handler = self._handlers.get(kind)
+                    try:
+                        if handler is None:
+                            raise ValueError(f"unknown request kind {kind!r}")
+                        if self._draining and kind not in _DRAIN_ALLOWED:
+                            raise ServerDrainingError(
+                                "server is draining for shutdown; "
+                                "no new work is accepted"
+                            )
+                        reply = ("ok", handler(payload, ctx))
+                    except Exception as exc:  # noqa: BLE001 - forwarded to client
+                        reply = (
+                            "error",
+                            (type(exc).__name__, str(exc), traceback.format_exc()),
+                        )
+                    delivered = self._send_reply(transport, reply)
+                if not delivered:
+                    break
         finally:
+            with self._transports_lock:
+                self._client_transports.discard(transport)
             transport.close()
 
     def __repr__(self) -> str:

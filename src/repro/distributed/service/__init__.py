@@ -25,12 +25,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import secrets
+import signal
 import socket
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..protocol import SocketTransport, PipeTransport, TransportError, connect
+from ..protocol import (
+    SocketTransport,
+    PipeTransport,
+    TransportError,
+    connect,
+    send_auth_proof,
+    verify_auth_proof,
+)
 from ..sharding import DEFAULT_STRATEGY, ShardAssigner, SHARDING_STRATEGIES
 from ..worker import (
     SATURATION_SPEC_KINDS,
@@ -78,6 +87,7 @@ class WorkerHandle:
         self.transport = None
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.remote_address: Optional[str] = None
+        self.remote_token: Optional[str] = None
         self.lock = threading.Lock()
         self.respawns = 0
 
@@ -187,6 +197,11 @@ class EvaluationService:
         # shards respawning concurrently from fan-out threads can never
         # cross-pair a handle with the other shard's worker process.
         self._spawn_lock = threading.Lock()
+        # Spawn nonce for socket workers: the worker protocol is pickle, so
+        # the coordinator must never unpickle from a dialer that has not
+        # proven it is the process we just spawned (the nonce travels in
+        # the spawn args, never over the network in the clear).
+        self._worker_secret = secrets.token_hex(16)
         self.batches_served = 0
 
     # ------------------------------------------------------------------ #
@@ -240,14 +255,19 @@ class EvaluationService:
                 raise
         return self
 
-    def attach_remote(self, address: str, timeout: float = 10.0) -> int:
+    def attach_remote(
+        self, address: str, timeout: float = 10.0, token: Optional[str] = None
+    ) -> int:
         """Attach a pre-started remote worker (``python -m
         repro.distributed.worker --serve HOST:PORT``) as an extra shard.
 
         Must be called before the first batch (the sticky assigner is sized
         at first use).  Returns the new shard's index.  A remote shard that
         fails is *reconnected* (the coordinator cannot respawn a process on
-        another machine) and retried with the same once-only policy.
+        another machine) and retried with the same once-only policy.  When
+        the worker was started with ``--auth-token``, pass the matching
+        ``token`` — the coordinator proves it before the worker will decode
+        a single frame.
         """
         with self._lock:
             if not self._started:
@@ -258,7 +278,10 @@ class EvaluationService:
                 )
             handle = WorkerHandle(len(self._handles))
             handle.remote_address = address
+            handle.remote_token = token
             handle.transport = connect(address, timeout=timeout)
+            if token is not None:
+                send_auth_proof(handle.transport._socket, token)
             self._init_worker(handle, self.payload_fn())
             self._handles.append(handle)
             self._assigner = ShardAssigner(len(self._handles), self.strategy)
@@ -334,13 +357,30 @@ class EvaluationService:
             host, port = self._listener.getsockname()
             process = self._context.Process(
                 target=socket_worker_main,
-                args=(host, port),
+                args=(host, port, self._worker_secret),
                 daemon=True,
                 name=f"repro-shard-{handle.index}",
             )
             process.start()
             self._listener.settimeout(30)
-            conn, _peer = self._listener.accept()
+            conn = None
+            # A stray dialer hitting the loopback listener must not be
+            # mistaken for our worker: only a connection proving the spawn
+            # nonce gets its pickle frames decoded.
+            for _attempt in range(5):
+                conn, _peer = self._listener.accept()
+                if verify_auth_proof(conn, self._worker_secret):
+                    break
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                conn = None
+            if conn is None:
+                process.terminate()
+                raise TransportError(
+                    f"shard {handle.index}: no authenticated worker dial-back"
+                )
             conn.settimeout(None)
             handle.transport = SocketTransport(conn)
         handle.process = process
@@ -362,6 +402,9 @@ class EvaluationService:
         payload = self.payload_fn()
         if handle.remote_address is not None:
             handle.transport = connect(handle.remote_address, timeout=10.0)
+            token = getattr(handle, "remote_token", None)
+            if token is not None:
+                send_auth_proof(handle.transport._socket, token)
             self._init_worker(handle, payload)
         else:
             self._spawn_into(handle, payload)
@@ -683,6 +726,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="registered-instance cap; least-recently-used idle handles "
              "are evicted beyond it",
     )
+    parser.add_argument(
+        "--auth-token", default=None,
+        help="require clients to present this token in their handshake; "
+             "every request (shutdown and unregister included) is rejected "
+             "with a typed error without it",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="payload-byte budget across all registered instances; "
+             "least-recently-used idle handles are evicted beyond it "
+             "(default: count cap only)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64,
+        help="per-handle admission cap: requests beyond this many waiters "
+             "get a typed ServerBusyError",
+    )
+    parser.add_argument(
+        "--client-quota", type=int, default=8,
+        help="per-client cap on requests queued on one handle; beyond it "
+             "the client gets a typed QuotaExceededError",
+    )
     args = parser.parse_args(argv)
     from ..protocol import parse_address
 
@@ -694,7 +759,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         strategy=args.strategy,
         transport=args.worker_transport,
         max_instances=args.max_instances,
+        auth_token=args.auth_token,
+        memory_budget_bytes=(
+            None
+            if args.memory_budget_mb is None
+            else int(args.memory_budget_mb * 1024 * 1024)
+        ),
+        max_queue=args.max_queue,
+        client_quota=args.client_quota,
     )
+
+    # SIGTERM = graceful drain: stop accepting, finish in-flight batches,
+    # then exit 0.  serve_forever() returns once the drain completes.
+    def _drain_on_sigterm(_signum, _frame):
+        server.request_drain()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_on_sigterm)
+    except ValueError:
+        pass  # not on the main thread (embedded use); SIGTERM stays default
+
     print(
         f"repro evaluation server pid={os.getpid()} listening on "
         f"{server.address}",

@@ -36,7 +36,14 @@ import sys
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .protocol import PipeTransport, SocketTransport, TransportError, parse_address
+from .protocol import (
+    PipeTransport,
+    SocketTransport,
+    TransportError,
+    parse_address,
+    send_auth_proof,
+    verify_auth_proof,
+)
 
 Row = Tuple[object, ...]
 
@@ -291,10 +298,28 @@ class WorkerState:
             masks.append(mask)
         return masks
 
+    def handlers(self) -> Dict[str, object]:
+        """Explicit allowlist of wire-reachable request kinds.
+
+        Mirrors the server's dispatch table: nothing outside this mapping
+        can be invoked by a peer, however the request kind is spelled.
+        """
+        return {
+            "init": self.handle_init,
+            "reload": self.handle_reload,
+            "apply_diff": self.handle_apply_diff,
+            "coverage_batch": self.handle_coverage_batch,
+            "query_batch": self.handle_query_batch,
+            "materialize_saturations": self.handle_materialize_saturations,
+            "ping": self.handle_ping,
+            "stats": self.handle_stats,
+        }
+
 
 def serve_loop(transport) -> None:
     """Answer requests on one transport until shutdown or peer loss."""
     state = WorkerState()
+    handlers = state.handlers()
     while True:
         try:
             message = transport.recv()
@@ -311,7 +336,7 @@ def serve_loop(transport) -> None:
             # Test hook for the lifecycle-hardening suite: die like a worker
             # hit by the OOM killer — no reply, no cleanup.
             os._exit(13)
-        handler = getattr(state, f"handle_{kind}", None)
+        handler = handlers.get(kind)
         try:
             if handler is None:
                 raise ValueError(f"unknown request kind {kind!r}")
@@ -336,9 +361,16 @@ def pipe_worker_main(connection) -> None:
         transport.close()
 
 
-def socket_worker_main(host: str, port: int) -> None:
-    """Process target for a socket-transport worker: dial the coordinator."""
+def socket_worker_main(host: str, port: int, secret: Optional[str] = None) -> None:
+    """Process target for a socket-transport worker: dial the coordinator.
+
+    When the coordinator minted a spawn ``secret``, the worker proves it
+    with a raw-bytes preamble before any pickle frame flows — the
+    coordinator will not unpickle from a dialer that cannot.
+    """
     sock = socket.create_connection((host, port))
+    if secret is not None:
+        send_auth_proof(sock, secret)
     transport = SocketTransport(sock)
     try:
         serve_loop(transport)
@@ -346,12 +378,19 @@ def socket_worker_main(host: str, port: int) -> None:
         transport.close()
 
 
-def serve(address: str, max_sessions: Optional[int] = None) -> None:
+def serve(
+    address: str,
+    max_sessions: Optional[int] = None,
+    auth_token: Optional[str] = None,
+) -> None:
     """Run a standalone worker listening on ``host:port`` (remote topology).
 
     Accepts one coordinator at a time and serves it until it disconnects;
     then (unless ``max_sessions`` is exhausted) goes back to accepting, so a
-    long-lived remote worker survives coordinator restarts.
+    long-lived remote worker survives coordinator restarts.  This seam
+    speaks pickle, so with ``auth_token`` set the worker demands the auth
+    preamble *before decoding anything* and silently drops dialers that
+    fail it (``EvaluationService.attach_remote(..., token=...)`` sends it).
     """
     host, port = parse_address(address)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -364,6 +403,12 @@ def serve(address: str, max_sessions: Optional[int] = None) -> None:
     try:
         while max_sessions is None or sessions < max_sessions:
             conn, _peer = listener.accept()
+            if auth_token is not None and not verify_auth_proof(conn, auth_token):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue  # unauthenticated dialer; not a session
             transport = SocketTransport(conn)
             try:
                 serve_loop(transport)
@@ -386,8 +431,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-sessions", type=int, default=None,
         help="exit after serving this many coordinator sessions (default: forever)",
     )
+    parser.add_argument(
+        "--auth-token", default=None,
+        help="require coordinators to prove this shared secret before any "
+             "frame is decoded (the worker protocol is pickle; never expose "
+             "it without a token except on a trusted link)",
+    )
     args = parser.parse_args(argv)
-    serve(args.serve, max_sessions=args.max_sessions)
+    serve(args.serve, max_sessions=args.max_sessions, auth_token=args.auth_token)
     return 0
 
 

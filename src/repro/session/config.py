@@ -95,6 +95,15 @@ class SessionConfig:
         (``name:contenthash``, or ``auto-<contenthash>`` without a name),
         so repeat runs over the same data land on the same warm
         server-side instance and distinct datasets never collide.
+    auth_token:
+        Shared secret presented in the wire handshake when the persistent
+        server was started with ``--auth-token``; without (or with a
+        wrong) token every request is rejected with a typed error.
+    request_timeout:
+        Per-request deadline (seconds) on the server connection.  A hung
+        server surfaces as :class:`~repro.distributed.TransportError`
+        instead of blocking ``learn()`` forever; ``None`` (default) waits
+        indefinitely.
     """
 
     backend: Optional[str] = None
@@ -107,6 +116,8 @@ class SessionConfig:
     transport: Optional[str] = None
     service_address: Optional[str] = None
     instance_handle: Optional[str] = None
+    auth_token: Optional[str] = None
+    request_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.parallelism is not None:
@@ -151,7 +162,23 @@ class SessionConfig:
             )
 
     def _validate_service_address(self) -> None:
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0 seconds, got "
+                f"{self.request_timeout!r}"
+            )
         if self.service_address is None:
+            for knob, value in (
+                ("auth_token", self.auth_token),
+                ("request_timeout", self.request_timeout),
+            ):
+                if value is not None:
+                    # Note: never echo the token value into the message.
+                    raise ValueError(
+                        f"{knob}= configures the connection to a persistent "
+                        f"evaluation server; set service_address='HOST:PORT' "
+                        f"as well"
+                    )
             if self.backend == "sqlite-remote":
                 raise ValueError(
                     "backend='sqlite-remote' evaluates on a persistent "

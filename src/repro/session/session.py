@@ -187,7 +187,11 @@ class LearningSession:
         if config.service_address is not None:
             from ..distributed.client import ServiceClient
 
-            self._resources.client = ServiceClient(config.service_address)
+            self._resources.client = ServiceClient(
+                config.service_address,
+                token=config.auth_token,
+                request_timeout=config.request_timeout,
+            )
         # Abandoned sessions (aborted scripts, crashed notebooks) must not
         # leak worker fleets: the finalizer runs on garbage collection and
         # at interpreter exit, and close() triggers it explicitly.
@@ -201,11 +205,25 @@ class LearningSession:
         cls,
         address: str,
         config: Optional[SessionConfig] = None,
+        token: Optional[str] = None,
+        request_timeout: Optional[float] = None,
         **overrides,
     ) -> "LearningSession":
-        """A session evaluating on the persistent server at ``address``."""
+        """A session evaluating on the persistent server at ``address``.
+
+        ``token`` authenticates against a server started with
+        ``--auth-token``; ``request_timeout`` bounds every round-trip so a
+        hung server raises instead of blocking ``learn()`` forever.
+        """
         base = config or SessionConfig()
-        return cls(base.merged(service_address=str(address), **overrides))
+        return cls(
+            base.merged(
+                service_address=str(address),
+                auth_token=token,
+                request_timeout=request_timeout,
+                **overrides,
+            )
+        )
 
     @property
     def client(self):

@@ -144,3 +144,63 @@ def test_frame_rejects_corruption():
     frame[3] ^= 0xFF  # header length no longer matches the body
     with pytest.raises(TransportError):
         decode_frame(bytes(frame))
+
+
+def test_decode_frame_rejects_oversized_length_header(monkeypatch):
+    """The embedded length is checked against the cap before unpickling."""
+    from repro.distributed import protocol
+
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+    oversized = (1000).to_bytes(4, "big") + b"x" * 1000
+    with pytest.raises(TransportError, match="exceeds limit"):
+        protocol.decode_frame(oversized)
+
+
+def test_pipe_transport_enforces_the_frame_cap(monkeypatch):
+    """Regression: PipeTransport.recv must refuse oversized frames.
+
+    Connection.recv_bytes() allocates the whole message before decode_frame
+    ever sees the length header, so the cap has to ride on recv_bytes's own
+    maxlength — symmetric with SocketTransport, which checks the header
+    before reading the body.  (The cap is monkeypatched small; the real one
+    would need a >1 GiB allocation to exercise.)
+    """
+    import multiprocessing
+
+    from repro.distributed import protocol
+    from repro.distributed.protocol import PipeTransport
+
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 1024)
+    left, right = multiprocessing.Pipe(duplex=True)
+    sender, receiver = PipeTransport(left), PipeTransport(right)
+    try:
+        sender.send("small is fine")
+        assert receiver.recv() == "small is fine"
+        # An impolite peer ships an over-cap frame as raw bytes.
+        left.send_bytes(b"\x00" * (64 * 1024))
+        with pytest.raises(TransportError):
+            receiver.recv()
+    finally:
+        sender.close()
+        receiver.close()
+
+
+def test_socket_transport_surfaces_timeouts_as_transport_error():
+    """A peer that accepts but never replies must not hang recv forever."""
+    import socket as socket_module
+
+    from repro.distributed.protocol import connect as connect_transport
+
+    listener = socket_module.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    host, port = listener.getsockname()
+    transport = connect_transport(
+        f"{host}:{port}", timeout=5.0, request_timeout=0.2
+    )
+    try:
+        with pytest.raises(TransportError, match="timed out"):
+            transport.recv()
+    finally:
+        transport.close()
+        listener.close()
