@@ -39,6 +39,7 @@ Quickstart::
 from .castor import CastorLearner, CastorParameters
 from .database import (
     DatabaseInstance,
+    Delta,
     FunctionalDependency,
     InclusionDependency,
     RelationSchema,
@@ -66,6 +67,7 @@ __all__ = [
     "Constant",
     "DatabaseInstance",
     "DecomposeOperation",
+    "Delta",
     "Example",
     "ExampleSet",
     "FoilLearner",

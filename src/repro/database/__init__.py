@@ -31,6 +31,7 @@ from .constraints import (
     inds_are_cyclic,
 )
 from .csv_io import load_instance, load_schema, relation_counts, save_instance
+from .delta import Delta, as_delta
 from .instance import DatabaseInstance, RelationInstance
 from .query import QueryEvaluator, evaluate_clause, evaluate_definition
 from .schema import RelationSchema, Schema
@@ -46,6 +47,8 @@ from .sqlite_backend import (
 __all__ = [
     "Backend",
     "DatabaseInstance",
+    "Delta",
+    "as_delta",
     "MemoryBackend",
     "PooledSQLiteBackend",
     "RelationBackend",

@@ -136,6 +136,10 @@ class SQLiteRelation:
         # Invoked after every successful data change; the pooled backend uses
         # it to version relation contents for snapshot staleness checks.
         self._on_mutation = on_mutation
+        # Installed by DatabaseInstance.mark_managed(): invoked before every
+        # mutation so prepared instances can warn when callers bypass the
+        # transaction/update API (stale-cache hazard).
+        self.mutation_guard: Optional[Callable[[], None]] = None
         self._table = _quote(f"rel_{schema.name}")
         columns = ", ".join(f"c{i}" for i in range(schema.arity))
         self._connection.execute(
@@ -170,6 +174,8 @@ class SQLiteRelation:
 
     def add(self, row: Sequence[object]) -> None:
         """Insert a tuple; silently ignores exact duplicates."""
+        if self.mutation_guard is not None:
+            self.mutation_guard()
         row_tuple = self._check_arity(row)
         values = tuple(_storable(v) for v in row_tuple)
         cursor = self._connection.execute(
@@ -180,6 +186,8 @@ class SQLiteRelation:
             self._mutated(("add", self.schema.name, (values,)))
 
     def add_all(self, rows: Iterable[Sequence[object]]) -> None:
+        if self.mutation_guard is not None:
+            self.mutation_guard()
         prepared = [
             tuple(_storable(v) for v in self._check_arity(row)) for row in rows
         ]
@@ -194,6 +202,8 @@ class SQLiteRelation:
 
     def remove(self, row: Sequence[object]) -> None:
         """Delete a tuple; raises KeyError if absent."""
+        if self.mutation_guard is not None:
+            self.mutation_guard()
         row_tuple = self._check_arity(row)
         try:
             values = tuple(_storable(v) for v in row_tuple)
@@ -1029,6 +1039,7 @@ class SaturationStore:
         self._key_ids: Dict[Tuple[str, Row], int] = {}
         self._size = 0
         self._stale_statistics = False
+        self._analyzed_size = 0
 
     def __len__(self) -> int:
         return self._size
@@ -1130,6 +1141,123 @@ class SaturationStore:
             return None
         return self._key_ids.get((target, stored))
 
+    def stored_key(
+        self, target: str, head_values: Sequence[object]
+    ) -> Optional[Tuple[str, Row]]:
+        """The dedup key this store files ``(target, head_values)`` under.
+
+        ``None`` when the head contains unstorable values (such an example
+        can never be materialized here).  Lets callers correlate their own
+        example objects with keys returned by :meth:`invalidate_touching`.
+        """
+        try:
+            return (target, tuple(_storable(v) for v in head_values))
+        except BackendValueError:
+            return None
+
+    def remove_example(
+        self, target: str, head_values: Sequence[object]
+    ) -> Optional[int]:
+        """Drop one materialized saturation by its dedup key.
+
+        Returns the removed example's id, or ``None`` when the key was not
+        materialized (including heads with unstorable values, which can
+        never have been stored).  Incremental maintenance uses this to
+        retract-and-repair saturations a delta invalidated.
+        """
+        try:
+            stored = tuple(_storable(v) for v in head_values)
+        except BackendValueError:
+            return None
+        with self._lock:
+            example_id = self._key_ids.pop((target, stored), None)
+            if example_id is None:
+                return None
+            self._delete_ids({example_id})
+            return example_id
+
+    def invalidate_touching(
+        self, values: Iterable[object]
+    ) -> List[Tuple[str, Row]]:
+        """Drop every saturation whose footprint intersects ``values``.
+
+        The footprint of a materialized example is its head tuple plus every
+        constant in its ground body.  Bottom-clause construction only ever
+        probes the database with values drawn from that footprint, so a
+        delta whose touched values are disjoint from it cannot change the
+        saturation — dropping exactly the intersecting examples (for the
+        caller to rebuild) keeps delta maintenance byte-identical to a cold
+        rebuild.  Returns the ``(target, head tuple)`` keys dropped.
+        """
+        storable: List[object] = []
+        for value in values:
+            try:
+                storable.append(_storable(value))
+            except BackendValueError:
+                continue  # never stored, cannot intersect any footprint
+        if not storable:
+            return []
+        with self._lock:
+            if not self._key_ids:
+                return []
+            self._connection.execute(
+                "CREATE TEMP TABLE IF NOT EXISTS _touch (v PRIMARY KEY) WITHOUT ROWID"
+            )
+            self._connection.execute("DELETE FROM _touch")
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO _touch VALUES (?)", [(v,) for v in storable]
+            )
+            dead: Set[int] = set()
+            for (_target, arity), table in self._head_tables.items():
+                condition = " OR ".join(
+                    f"h{i} IN (SELECT v FROM _touch)" for i in range(arity)
+                )
+                dead.update(
+                    row[0]
+                    for row in self._connection.execute(
+                        f"SELECT ex FROM {table} WHERE {condition}"
+                    )
+                )
+            for (_predicate, arity), table in self._body_tables.items():
+                condition = " OR ".join(
+                    f"c{i} IN (SELECT v FROM _touch)" for i in range(arity)
+                )
+                dead.update(
+                    row[0]
+                    for row in self._connection.execute(
+                        f"SELECT DISTINCT ex FROM {table} WHERE {condition}"
+                    )
+                )
+            self._connection.execute("DELETE FROM _touch")
+            if not dead:
+                return []
+            dropped = [key for key, ex in self._key_ids.items() if ex in dead]
+            for key in dropped:
+                del self._key_ids[key]
+            self._delete_ids(dead)
+            return dropped
+
+    def _delete_ids(self, ids: Set[int]) -> None:
+        """Purge rows for ``ids`` from every head and body table (lock held)."""
+        self._connection.execute(
+            "CREATE TEMP TABLE IF NOT EXISTS _dead (ex INTEGER PRIMARY KEY) WITHOUT ROWID"
+        )
+        self._connection.execute("DELETE FROM _dead")
+        self._connection.executemany(
+            "INSERT OR IGNORE INTO _dead VALUES (?)", [(ex,) for ex in ids]
+        )
+        for table in self._head_tables.values():
+            self._connection.execute(
+                f"DELETE FROM {table} WHERE ex IN (SELECT ex FROM _dead)"
+            )
+        for table in self._body_tables.values():
+            self._connection.execute(
+                f"DELETE FROM {table} WHERE ex IN (SELECT ex FROM _dead)"
+            )
+        self._connection.execute("DELETE FROM _dead")
+        self._size -= len(ids)
+        self._stale_statistics = True
+
     def contents(self) -> Dict[Tuple[str, Row], FrozenSet[Tuple[str, Row]]]:
         """Canonical dump: ``(target, head tuple) -> {(predicate, body row)}``.
 
@@ -1155,8 +1283,14 @@ class SaturationStore:
     # ------------------------------------------------------------------ #
     # Coverage
     # ------------------------------------------------------------------ #
-    def covered_ids(self, clause: HornClause) -> Set[int]:
+    def covered_ids(
+        self, clause: HornClause, only_ids: Optional[Iterable[int]] = None
+    ) -> Set[int]:
         """Ids of every materialized example the clause covers — one query.
+
+        ``only_ids`` restricts the scan to the given example ids: delta
+        maintenance re-scores just the examples a mutation invalidated
+        instead of re-joining the clause against every stored saturation.
 
         Raises :class:`CompilationNotSupported` for bodies above the join
         limit; the caller falls back to the Python subsumption engine for
@@ -1169,9 +1303,19 @@ class SaturationStore:
                 return set()
             if self._stale_statistics:
                 # Without index statistics SQLite's greedy planner can pick
-                # catastrophic orders for wide saturation joins (50x+ slower);
-                # ANALYZE after a materialization round costs ~1 ms.
-                self._connection.execute("ANALYZE")
+                # catastrophic orders for wide saturation joins (50x+ slower).
+                # But ANALYZE scans every saturation table, which would
+                # dominate a delta-maintenance round that only re-adds a
+                # handful of examples — and the planner only cares about
+                # *relative* cardinalities, which barely move under small
+                # churn.  Re-analyze only when the store has grown or shrunk
+                # past 2x since the statistics were last taken.
+                if not (
+                    0 < self._analyzed_size // 2 <= self._size
+                    and self._size <= self._analyzed_size * 2
+                ):
+                    self._connection.execute("ANALYZE")
+                    self._analyzed_size = self._size
                 self._stale_statistics = False
 
             where: List[str] = []
@@ -1209,6 +1353,26 @@ class SaturationStore:
                     exists += " WHERE " + " AND ".join(compiled.where)
                 where.append(f"EXISTS ({exists})")
                 params.extend(compiled.params)
+
+            if only_ids is not None:
+                ids = sorted({int(example_id) for example_id in only_ids})
+                if not ids:
+                    return set()
+                # The scope rides a temp table rather than an inline
+                # ``IN (?, ?, ...)`` so the SQL text stays identical across
+                # calls: sqlite3's per-connection statement cache then skips
+                # re-planning the (potentially 20-way) saturation join on
+                # every delta-maintenance round.
+                self._connection.execute(
+                    "CREATE TEMP TABLE IF NOT EXISTS _covered_scope "
+                    "(ex INTEGER PRIMARY KEY)"
+                )
+                self._connection.execute("DELETE FROM _covered_scope")
+                self._connection.executemany(
+                    "INSERT INTO _covered_scope VALUES (?)",
+                    [(example_id,) for example_id in ids],
+                )
+                where.append("cand.ex IN (SELECT ex FROM _covered_scope)")
 
             sql = f"SELECT cand.ex FROM {head_table} AS cand"
             if where:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import weakref
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..database.delta import Delta
 from ..database.schema import Schema
 from ..database.sqlite_backend import PooledSQLiteBackend
 from ..logic.clauses import HornClause
@@ -82,12 +83,18 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
         self._service: Optional[EvaluationService] = None
         self._service_finalizer = None
         # Ordered relation-change log backing incremental worker reloads:
-        # ``(data_version after the change, (op, relation, rows))`` entries.
-        # ``_log_floor`` is the version up to which changes are NOT in the
-        # log — diffs can only be cut for tokens at or above it.
-        self._mutation_log: List[Tuple[int, Tuple[str, str, Tuple[Row, ...]]]] = []
+        # ``(data_version after the change, Delta)`` entries.  ``_log_floor``
+        # is the version up to which changes are NOT in the log — diffs can
+        # only be cut for tokens at or above it.
+        self._mutation_log: List[Tuple[int, Delta]] = []
         self._log_floor = 0
         self._log_rows = 0
+        # Delta-batch seam (DatabaseInstance.transaction): while a batch is
+        # open, per-mutation change records accumulate here and are written
+        # as ONE coalesced log entry at the end of the batch.
+        self._batch_depth = 0
+        self._batch_ops: List[Tuple[str, str, Tuple[Row, ...]]] = []
+        self._batch_poisoned = False
 
     # ------------------------------------------------------------------ #
     # Mutation log (incremental worker reloads)
@@ -96,19 +103,49 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
         self, change: Optional[Tuple[str, str, Tuple[Row, ...]]] = None
     ) -> None:
         super()._bump_data_version()
+        if self._batch_depth > 0:
+            if change is None:
+                self._batch_poisoned = True
+            else:
+                self._batch_ops.append(change)
+            return
         if change is None:
             # A mutation without a change record cannot be replayed; diffs
             # crossing this version must fall back to a full reload.
             self._clear_mutation_log()
             return
-        self._mutation_log.append((self._data_version, change))
-        self._log_rows += len(change[2])
+        self._append_log_entry(Delta([change]))
+
+    def begin_delta_batch(self) -> None:
+        """Start buffering change records (one log entry per batch)."""
+        self._batch_depth += 1
+
+    def end_delta_batch(self) -> None:
+        """Flush the buffered batch as a single coalesced log entry."""
+        if self._batch_depth == 0:
+            return
+        self._batch_depth -= 1
+        if self._batch_depth > 0:
+            return
+        ops, self._batch_ops = self._batch_ops, []
+        poisoned, self._batch_poisoned = self._batch_poisoned, False
+        if poisoned:
+            self._clear_mutation_log()
+            return
+        if ops:
+            self._append_log_entry(Delta(ops).coalesced())
+
+    def _append_log_entry(self, delta: Delta) -> None:
+        if delta.is_empty:
+            return
+        self._mutation_log.append((self._data_version, delta))
+        self._log_rows += delta.row_count
         while self._mutation_log and (
             len(self._mutation_log) > self.MAX_MUTATION_LOG_ENTRIES
             or self._log_rows > self.MAX_MUTATION_LOG_ROWS
         ):
-            version, (_op, _name, rows) = self._mutation_log.pop(0)
-            self._log_rows -= len(rows)
+            version, logged = self._mutation_log.pop(0)
+            self._log_rows -= logged.row_count
             self._log_floor = version
 
     def _clear_mutation_log(self) -> None:
@@ -118,8 +155,8 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
 
     def collect_diff(
         self, since_token: Optional[Tuple[int, int]]
-    ) -> Optional[List[Tuple[str, str, Tuple[Row, ...]]]]:
-        """The ordered relation diff since a pool-state token, or ``None``.
+    ) -> Optional[Delta]:
+        """The ordered :class:`Delta` since a pool-state token, or ``None``.
 
         ``None`` — ship the full payload instead — when the token predates
         the log floor, the relation set changed (the token's first element),
@@ -130,15 +167,14 @@ class ShardedSQLiteBackend(PooledSQLiteBackend):
         relation_count, version = since_token
         if relation_count != len(self._relations) or version < self._log_floor:
             return None
-        entries = [
-            change for logged_version, change in self._mutation_log
-            if logged_version > version
-        ]
-        diff_rows = sum(len(rows) for _op, _name, rows in entries)
+        combined = Delta()
+        for logged_version, delta in self._mutation_log:
+            if logged_version > version:
+                combined = combined.then(delta)
         payload_rows = sum(len(relation) for relation in self._relations.values())
-        if diff_rows >= payload_rows:
+        if combined.row_count >= payload_rows:
             return None
-        return entries
+        return combined
 
     # ------------------------------------------------------------------ #
     # Wiring

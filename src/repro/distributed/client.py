@@ -205,10 +205,14 @@ class RemoteEvaluationService:
     on a repeat run.
     """
 
-    def __init__(self, client: ServiceClient, payload_fn, token_fn, handle=None):
+    def __init__(
+        self, client: ServiceClient, payload_fn, token_fn, handle=None,
+        delta_fn=None,
+    ):
         self.client = client
         self._payload_fn = payload_fn
         self._token_fn = token_fn
+        self._delta_fn = delta_fn
         self._handle_override = handle
         self.handle: Optional[str] = None
         self._content_hash: Optional[str] = None
@@ -230,8 +234,49 @@ class RemoteEvaluationService:
             token = self._token_fn()
             if token == self._synced_token and self.handle is not None:
                 return self.handle
+            # The delta fast paths only apply while the server-side state is
+            # still trusted; a forced resync (handle evicted or clobbered —
+            # _batch_request reset the token) must do the full probe.
+            server_trusted = (
+                self.handle is not None
+                and self._content_hash is not None
+                and self._synced_token is not _UNSYNCED
+            )
+            # Cut the delta BEFORE building the payload: payload assembly
+            # clears the backend's mutation log (a full payload supersedes
+            # every logged change).
+            delta = None
+            if server_trusted and self._delta_fn is not None:
+                delta = self._delta_fn(self._synced_token)
             payload = self._payload_fn()
             content_hash = payload_content_hash(payload)
+            if server_trusted and content_hash == self._content_hash:
+                # Local mutations netted out to the registered contents
+                # (e.g. add+remove of the same rows); nothing to sync.
+                self._synced_token = token
+                return self.handle
+            if delta is not None and not delta.is_empty:
+                # Incremental path: ship the delta, keep the handle (and
+                # its warm server-side fleet).  The server verifies the
+                # derived payload reproduces our content hash, so any
+                # divergence falls back to the full dance below instead of
+                # silently serving stale data.
+                try:
+                    self.client.request(
+                        "apply_delta",
+                        (self.handle, self._content_hash, content_hash, delta),
+                    )
+                    self.reloads_incremental += 1
+                    self._content_hash = content_hash
+                    self._synced_token = token
+                    return self.handle
+                except ServerError as exc:
+                    if exc.kind not in (
+                        "UnknownHandleError", "DeltaMismatchError"
+                    ):
+                        raise
+                    # Handle evicted/clobbered, or the chain diverged:
+                    # recover with a full register/load.
             # Named handles are content-qualified namespaces: distinct
             # datasets under one name land on distinct handles regardless
             # of registration order, so two processes sharing a name can
@@ -503,6 +548,11 @@ class RemoteBackend(ShardedSQLiteBackend):
                 payload_fn=self._payload,
                 token_fn=self._pool_state,
                 handle=self._handle,
+                # Local mutations become one small apply_delta frame instead
+                # of a full payload re-ship (and the server repairs its warm
+                # fleet in place); collect_diff returning None falls back to
+                # the register/load dance.
+                delta_fn=self.collect_diff,
             )
         return self._remote
 

@@ -51,6 +51,16 @@ class UnknownHandleError(KeyError):
         return self.args[0] if self.args else ""
 
 
+class DeltaMismatchError(ValueError):
+    """An ``apply_delta`` request did not reproduce the claimed content hash.
+
+    Like :class:`UnknownHandleError`, the type name is the wire contract:
+    the client falls back to the full register/load dance exactly when the
+    server raises this — the delta path is an optimization, never a
+    correctness dependency.
+    """
+
+
 class AuthenticationError(PermissionError):
     """The connection did not present the server's auth token."""
 

@@ -46,9 +46,12 @@ import time
 import traceback
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..database.delta import Delta, as_delta
 from . import wire
+from .client import payload_content_hash
 from .fairness import FairLock
 from .protocol import (
+    DeltaMismatchError,
     HandleBusyError,
     ServerDrainingError,
     SocketTransport,
@@ -58,8 +61,43 @@ from .protocol import (
 from .service import TRANSPORTS, EvaluationService
 from .sharding import DEFAULT_STRATEGY, SHARDING_STRATEGIES
 from .wire import WIRE_VERSION, WireFormatError
+from .worker import InstancePayload
 
 Row = Tuple[object, ...]
+
+
+def _advance_payload(payload: InstancePayload, delta: Delta) -> InstancePayload:
+    """A new payload with ``delta`` applied to ``payload``'s row sets.
+
+    Replay semantics match the backends: adds are set-inserts, removes are
+    idempotent (absent rows ignored).  Only relations the delta touches are
+    rebuilt; untouched row lists are shared with the old payload.
+    """
+    rows = dict(payload.rows)
+    touched: Dict[str, Dict[Row, None]] = {}
+    for op, relation, delta_rows in delta.ops:
+        if relation not in rows:
+            raise DeltaMismatchError(
+                f"delta touches unknown relation {relation!r}; "
+                f"re-register with a full payload"
+            )
+        target = touched.get(relation)
+        if target is None:
+            target = touched[relation] = dict.fromkeys(
+                tuple(row) for row in rows[relation]
+            )
+        if op == "add":
+            for row in delta_rows:
+                target[tuple(row)] = None
+        else:
+            for row in delta_rows:
+                target.pop(tuple(row), None)
+    for relation, mapping in touched.items():
+        rows[relation] = list(mapping)
+    return InstancePayload(
+        payload.schema, rows, backend=payload.backend, pool_size=payload.pool_size
+    )
+
 
 #: Request kinds still answered while the server is draining: read-only
 #: introspection plus shutdown itself.  Everything else gets a typed
@@ -92,12 +130,22 @@ class _InflightBatch:
 class ServedInstance:
     """One registered instance: payload version + its warm worker fleet."""
 
+    #: Longest recorded hash-to-hash delta chain.  A fleet synced further
+    #: back than this falls off the chain and full-reloads — the chain
+    #: bounds memory, not correctness.
+    MAX_DELTA_CHAIN = 32
+
     def __init__(self, handle: str, max_queue: int = 64, client_quota: int = 8):
         self.handle = str(handle)
         self.content_hash: Optional[str] = None
         self.payload = None
         self.payload_bytes = 0
         self.service: Optional[EvaluationService] = None
+        # ``(content hash before, content hash after, Delta)`` steps from
+        # apply_delta requests; ``collect_diff`` composes them so the warm
+        # fleet is repaired in place instead of full-reloading.
+        self.delta_chain: List[Tuple[str, str, Delta]] = []
+        self.deltas_applied = 0
         # Serializes batches per handle; the service's own fan-out is
         # concurrent internally, but its sticky assigner and reload check
         # are not safe under interleaved batches from two connections.
@@ -120,9 +168,39 @@ class ServedInstance:
         self.payload = None
         self.payload_bytes = 0
         self.content_hash = None
+        self.delta_chain.clear()
         if self.service is not None:
             self.service.close()
             self.service = None
+
+    def record_delta(self, old_hash: str, new_hash: str, delta: Delta) -> None:
+        self.delta_chain.append((old_hash, new_hash, delta))
+        if len(self.delta_chain) > self.MAX_DELTA_CHAIN:
+            del self.delta_chain[: len(self.delta_chain) - self.MAX_DELTA_CHAIN]
+
+    def collect_diff(self, since_token: object) -> Optional[Delta]:
+        """Compose recorded deltas from a fleet's last-synced content hash
+        to the current one; ``None`` means full reload.
+
+        Content hashes identify row sets exactly, so when the same hash
+        reappears (update A→B, later B→A) any chain of steps that starts at
+        the fleet's hash and ends at the current one replays correctly —
+        later steps shadow earlier ones from the same hash.
+        """
+        if not isinstance(since_token, str) or self.content_hash is None:
+            return None
+        steps = {old: (new, delta) for old, new, delta in self.delta_chain}
+        combined = Delta()
+        cursor = since_token
+        for _ in range(len(steps) + 1):
+            if cursor == self.content_hash:
+                return combined
+            step = steps.get(cursor)
+            if step is None:
+                return None
+            cursor = step[0]
+            combined = combined.then(step[1])
+        return None  # chain cycles without reaching the current hash
 
     def stats(self) -> Dict[str, object]:
         service = self.service
@@ -132,6 +210,7 @@ class ServedInstance:
             "content_hash": self.content_hash,
             "loads": self.loads,
             "batches": self.batches,
+            "deltas_applied": self.deltas_applied,
             "register_hits": self.register_hits,
             "hit_rate": (self.register_hits / probes) if probes else 0.0,
             "payload_bytes": self.payload_bytes,
@@ -211,6 +290,7 @@ class ServiceServer:
             "hello": self.handle_hello,
             "register": self.handle_register,
             "load": self.handle_load,
+            "apply_delta": self.handle_apply_delta,
             "coverage_batch": self.handle_coverage_batch,
             "materialize_saturations": self.handle_materialize_saturations,
             "query_batch": self.handle_query_batch,
@@ -431,6 +511,7 @@ class ServiceServer:
                 strategy=self.strategy,
                 transport=self.transport,
                 state_token_fn=lambda: served.content_hash,
+                diff_fn=served.collect_diff,
             )
             served.service.start()
         return served.service
@@ -527,6 +608,9 @@ class ServiceServer:
         with self._locked(served, ctx):
             served.payload = instance_payload
             served.content_hash = content_hash
+            # A full payload supersedes the delta history: fleets synced to
+            # an older hash fall off the (cleared) chain and full-reload.
+            served.delta_chain.clear()
             # The request frame carries the encoded payload, so its size is
             # an honest upper bound on what this handle pins in memory; the
             # byte-budget eviction keys on it.
@@ -541,6 +625,54 @@ class ServiceServer:
             tuples = sum(len(r) for r in instance_payload.rows.values())
         self._evict_over_budget()
         return {"handle": handle, "tuples": tuples, "loads": served.loads}
+
+    def handle_apply_delta(self, payload, ctx) -> Dict[str, object]:
+        """Advance a handle's payload by a :class:`Delta` — no full re-ship.
+
+        The client sends ``(handle, old content hash, new content hash,
+        delta)``; the server derives the new payload from the one it already
+        holds and **verifies** it reproduces the claimed hash, so a diverged
+        delta (a missed mutation, a clobbered handle) can never silently
+        serve stale data — it raises :class:`DeltaMismatchError` and the
+        client falls back to the register/load dance.  The handle keeps its
+        name and, crucially, its warm fleet: the recorded delta chain lets
+        ``collect_diff`` repair worker engines in place instead of
+        rebuilding saturation state from scratch.
+        """
+        handle, old_hash, new_hash, delta = payload
+        delta = as_delta(delta)
+        served = self._get(handle)
+        with self._locked(served, ctx):
+            self._check_version(served, old_hash)
+            if served.payload is None:
+                raise UnknownHandleError(
+                    f"instance handle {handle!r} has no payload to advance; "
+                    f"re-register"
+                )
+            new_payload = _advance_payload(served.payload, delta)
+            computed = payload_content_hash(new_payload)
+            if computed != new_hash:
+                raise DeltaMismatchError(
+                    f"delta on {handle!r} does not reproduce the claimed "
+                    f"content hash; re-register with a full payload"
+                )
+            served.payload = new_payload
+            served.content_hash = new_hash
+            served.record_delta(old_hash, new_hash, delta)
+            served.deltas_applied += 1
+            # payload_bytes stays the load-time bound: a delta changes the
+            # footprint by at most its own (small) frame, and the budget
+            # only needs an honest order-of-magnitude figure.
+            service = self._service_for(served)
+            # The fleet sees the hash move through its state token; the
+            # recorded chain makes that sync an in-place engine repair.
+            service._ensure_ready()
+            tuples = sum(len(r) for r in new_payload.rows.values())
+        return {
+            "handle": handle,
+            "tuples": tuples,
+            "deltas_applied": served.deltas_applied,
+        }
 
     def _check_version(
         self, served: ServedInstance, content_hash: Optional[str]

@@ -145,9 +145,11 @@ class EvaluationService:
         so mutations on the coordinator instance are always visible.
     diff_fn:
         Optional callable mapping the last-synced token to an **incremental
-        relation diff** (an ordered list of ``(op, relation, rows)``
-        entries) — when it returns one, live workers are updated with an
-        ``apply_diff`` request instead of a full payload reload.  Returning
+        relation diff** (a :class:`~repro.database.delta.Delta`, or the
+        legacy ordered list of ``(op, relation, rows)`` entries) — when it
+        returns one, live workers are updated with an ``apply_diff``
+        request instead of a full payload reload, and workers repair their
+        warm engine caches in place rather than dropping them.  Returning
         ``None`` means "cannot diff from that token" (new relation, log
         truncated, diff larger than the payload) and falls back to the full
         reload.  Respawned workers always rebuild from the full payload.
@@ -452,6 +454,19 @@ class EvaluationService:
                     # that survives the respawn becomes ShardFailedError.
                     raise ShardFailedError(handle.index, str(exc)) from first_error
         self._synced_token = token
+
+    def sync(self) -> None:
+        """Bring the worker fleet up to date with the source data *now*.
+
+        The same freshness pass every batch runs lazily — exposed so a
+        streaming caller (:meth:`LearningSession.update
+        <repro.session.session.LearningSession.update>`) can push a delta
+        to live workers eagerly instead of paying the sync on the next
+        coverage request.  A cold (never-started) service is left cold:
+        its workers will build from the current payload anyway.
+        """
+        if self._started:
+            self._ensure_ready()
 
     # ------------------------------------------------------------------ #
     # Batched coverage

@@ -59,6 +59,7 @@ def _domain_types() -> Dict[type, str]:
     pulls the logic/learning packages just to frame a pickle.
     """
     from ..database.constraints import FunctionalDependency, InclusionDependency
+    from ..database.delta import Delta
     from ..database.schema import RelationSchema, Schema
     from ..learning.bottom_clause import BottomClauseConfig
     from ..learning.examples import Example
@@ -79,6 +80,7 @@ def _domain_types() -> Dict[type, str]:
         InclusionDependency: "ind",
         BottomClauseConfig: "bcconfig",
         InstancePayload: "instpayload",
+        Delta: "delta",
     }
 
 
@@ -173,6 +175,17 @@ def _encode_domain(tag: str, value: Any, depth: int) -> List[Any]:
             value.max_total_literals,
             value.theory_constant_threshold,
         ]
+    if tag == "delta":
+        # Delta rows are flat tuples of scalars in practice; reuse the
+        # payload row fast path rather than per-cell recursion.
+        return [
+            [
+                op,
+                relation,
+                [_encode_row(row, depth) for row in rows],
+            ]
+            for op, relation, rows in value.ops
+        ]
     if tag == "instpayload":
         # Rows dominate payload size; encode them with a scalar fast path
         # (a row is a flat tuple of scalars) instead of per-cell recursion.
@@ -229,6 +242,7 @@ def decode_value(obj: Any, depth: int = 0) -> Any:
 
 def _build_decoders() -> Dict[str, Callable[[List[Any], int], Any]]:
     from ..database.constraints import FunctionalDependency, InclusionDependency
+    from ..database.delta import Delta
     from ..database.schema import RelationSchema, Schema
     from ..learning.bottom_clause import BottomClauseConfig
     from ..learning.examples import Example
@@ -352,6 +366,23 @@ def _build_decoders() -> Dict[str, Callable[[List[Any], int], Any]]:
                 raise WireFormatError("row cell must be a scalar or [\"V\", value]")
         return tuple(out)
 
+    def dec_delta(items, depth):
+        ops = []
+        for entry in items:
+            if not isinstance(entry, list) or len(entry) != 3:
+                raise WireFormatError("delta op must be [op, relation, rows]")
+            op, relation, encoded_rows = entry
+            if op not in ("add", "remove"):
+                raise WireFormatError(f"delta op must be 'add' or 'remove', got {op!r}")
+            if not isinstance(encoded_rows, list):
+                raise WireFormatError("delta rows must be a list")
+            rows = [
+                dec_row(row, depth) if isinstance(row, list) else _bad_row()
+                for row in encoded_rows
+            ]
+            ops.append((op, _str(relation, "delta relation"), tuple(rows)))
+        return Delta(ops)
+
     def dec_instpayload(items, depth):
         schema, relations, backend, pool_size = _arity(items, 4, "instpayload")
         if backend is not None and not isinstance(backend, str):
@@ -398,6 +429,7 @@ def _build_decoders() -> Dict[str, Callable[[List[Any], int], Any]]:
         "ind": dec_ind,
         "bcconfig": dec_bcconfig,
         "instpayload": dec_instpayload,
+        "delta": dec_delta,
     }
 
 

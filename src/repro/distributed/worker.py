@@ -194,33 +194,49 @@ class WorkerState:
     def handle_apply_diff(self, payload) -> Dict[str, object]:
         """Apply an incremental relation diff instead of a full rebuild.
 
-        The payload is the coordinator's ordered mutation log slice:
-        ``("add"|"remove", relation, rows)`` entries.  Replay is
-        **idempotent**: adds ignore rows that already exist (the log may
-        record them) and removes ignore rows already gone — the coordinator
-        re-sends a diff from the same token when a fleet-wide sync was
-        interrupted midway, so a worker that already applied it must land
-        in the same state, not error.  Engine and builder caches are
-        dropped either way: their saturation stores describe the old data.
+        The payload is a :class:`~repro.database.delta.Delta` (or the legacy
+        list of ``("add"|"remove", relation, rows)`` entries it was promoted
+        from).  Replay is **idempotent**: adds ignore rows that already
+        exist (the log may record them) and removes ignore rows already
+        gone — the coordinator re-sends a diff from the same token when a
+        fleet-wide sync was interrupted midway, so a worker that already
+        applied it must land in the same state, not error.
+
+        Cached engines are *repaired*, not dropped: engines exposing
+        ``apply_delta`` evict exactly the saturations/coverage bits the
+        delta touches and keep the rest of their store warm; engines
+        without it are discarded.  Builders are stateless over the live
+        instance and survive as-is.
         """
+        from ..database.delta import as_delta
+
         (entries,) = payload
         if self.instance is None:
             raise RuntimeError("worker received a diff before init")
-        for op, relation_name, rows in entries:
+        delta = as_delta(entries)
+        for op, relation_name, rows in delta.ops:
             if op == "add":
                 self.instance.add_tuples(relation_name, rows)
-            elif op == "remove":
+            else:
                 relation = self.instance.relation(relation_name)
                 for row in rows:
                     try:
                         relation.remove(row)
                     except KeyError:
                         pass  # already removed by an earlier replay
+        repaired = 0
+        for key, engine in list(self._engines.items()):
+            repair = getattr(engine, "apply_delta", None)
+            if repair is None:
+                del self._engines[key]
             else:
-                raise ValueError(f"unknown diff op {op!r}")
-        self._engines.clear()
-        self._builders.clear()
-        return {"pid": os.getpid(), "tuples": self.instance.total_tuples()}
+                repair(delta)
+                repaired += 1
+        return {
+            "pid": os.getpid(),
+            "tuples": self.instance.total_tuples(),
+            "engines_repaired": repaired,
+        }
 
     def handle_materialize_saturations(self, payload) -> List[object]:
         """Bottom clauses / saturations for this shard's slice of examples.

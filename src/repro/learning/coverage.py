@@ -27,6 +27,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..database.delta import Delta
 from ..database.instance import DatabaseInstance
 from ..database.query import QueryEvaluator
 from ..database.sqlite_backend import (
@@ -36,6 +37,7 @@ from ..database.sqlite_backend import (
 )
 from ..logic.clauses import HornClause
 from ..logic.subsumption import GroundClauseIndex, SubsumptionEngine
+from ..logic.terms import Constant
 from .bottom_clause import (
     BatchSaturationEngine,
     BottomClauseBuilder,
@@ -367,16 +369,17 @@ class SubsumptionCoverageEngine:
         self._materialize(examples)
         store = self._compiled_store
         assert store is not None
-        try:
-            covered_ids = store.covered_ids(clause)
-        except CompilationNotSupported:
-            return None
-        self.compiled_statements += 1
 
+        # Partition first, query second: bits already cached never touch
+        # SQL, and the store query is scoped to exactly the uncached ids.
+        # Under delta maintenance this is the difference between re-joining
+        # the clause against every stored saturation and re-scoring only
+        # the examples apply_delta() actually invalidated.
         flags: Dict[Example, bool] = {}
         pending: List[Example] = []
+        uncached: List[Tuple[Example, int]] = []
         with self._lock:
-            for example in examples:
+            for example in dict.fromkeys(examples):
                 cached = self._coverage_cache.get((clause, example))
                 if cached is not None:
                     self.cache_hits += 1
@@ -385,11 +388,22 @@ class SubsumptionCoverageEngine:
                 example_id = self._compiled_ids.get(example)
                 if example_id is None:
                     pending.append(example)
-                    continue
-                flag = example_id in covered_ids
-                self._coverage_cache[(clause, example)] = flag
-                self.coverage_tests_performed += 1
-                flags[example] = flag
+                else:
+                    uncached.append((example, example_id))
+        if uncached:
+            try:
+                covered_ids = store.covered_ids(
+                    clause, only_ids=[example_id for _, example_id in uncached]
+                )
+            except CompilationNotSupported:
+                return None
+            self.compiled_statements += 1
+            with self._lock:
+                for example, example_id in uncached:
+                    flag = example_id in covered_ids
+                    self._coverage_cache[(clause, example)] = flag
+                    self.coverage_tests_performed += 1
+                    flags[example] = flag
         for example in pending:
             flags[example] = self.covers(clause, example)
         return [example for example in examples if flags[example]]
@@ -406,6 +420,71 @@ class SubsumptionCoverageEngine:
         return CoverageResult(
             len(covered_positives), len(covered_negatives), covered_positives
         )
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: Delta) -> Set[Example]:
+        """Repair this engine's caches after ``delta`` hit the instance.
+
+        A saturation can only change when the delta's touched values
+        intersect its *footprint* — the example's head values plus every
+        constant in the ground body (frontier expansion, including Castor's
+        IND chase, only ever probes the database with values drawn from that
+        set).  Exactly the intersecting examples are evicted from the
+        saturation caches, the compiled store, and the per-(clause, example)
+        coverage cache; everything else stays warm, and the bits cached for
+        untouched examples remain valid because their saturations are
+        provably unchanged.  Evicted examples rebuild lazily (or on the next
+        :meth:`prepare`/:meth:`materialize`) against the updated instance,
+        which makes the repaired state byte-identical to a cold rebuild.
+
+        Returns the set of invalidated examples.
+        """
+        touched = delta.touched_values()
+        if not touched:
+            return set()
+        invalidated: Set[Example] = set()
+        with self._materialize_lock:
+            for example, clause in self._saturation_cache.items():
+                if self._footprint_intersects(example, clause, touched):
+                    invalidated.add(example)
+            store = self._compiled_store
+            if store is not None:
+                # Drop intersecting saturations store-wide (idempotent: a
+                # second engine sharing the store finds nothing left to
+                # drop), then resync compiled ids against what survived —
+                # this also catches rows another engine already dropped.
+                store.invalidate_touching(touched)
+                for example, example_id in list(self._compiled_ids.items()):
+                    if store.existing_id(example.target, example.values) != example_id:
+                        invalidated.add(example)
+            with self._lock:
+                for example in invalidated:
+                    self._saturation_cache.pop(example, None)
+                    self._saturation_index_cache.pop(example, None)
+                    self._compiled_ids.pop(example, None)
+                if invalidated:
+                    stale = [
+                        key for key in self._coverage_cache if key[1] in invalidated
+                    ]
+                    for key in stale:
+                        del self._coverage_cache[key]
+        return invalidated
+
+    @staticmethod
+    def _footprint_intersects(
+        example: Example, saturation: HornClause, touched: frozenset
+    ) -> bool:
+        """True when any touched value occurs in the saturation's footprint."""
+        for value in example.values:
+            if value in touched:
+                return True
+        for atom in saturation.body:
+            for term in atom.terms:
+                if isinstance(term, Constant) and term.value in touched:
+                    return True
+        return False
 
     def mark_generalization_covers(
         self, general_clause: HornClause, covered: Iterable[Example]
@@ -602,6 +681,18 @@ class BatchCoverageEngine:
     def run(self, batch: CoverageBatch) -> List[CoverageResult]:
         """Evaluate a pre-assembled :class:`CoverageBatch`."""
         return self.evaluate_batch(batch.clauses, batch.positives, batch.negatives)
+
+    def apply_delta(self, delta: Delta) -> Set[Example]:
+        """Forward a data delta to the wrapped engine's cache repair.
+
+        Engines without incremental maintenance (the stateless query
+        engine) need none — their answers always read the live instance —
+        so this returns an empty set for them.
+        """
+        repair = getattr(self.engine, "apply_delta", None)
+        if repair is None:
+            return set()
+        return repair(delta)
 
 
 def make_coverage_engine(

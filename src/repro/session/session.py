@@ -36,6 +36,7 @@ import threading
 import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..database.delta import Delta
 from ..database.instance import DatabaseInstance
 from ..database.sqlite_backend import SaturationStore
 from .config import SessionConfig, warn_once
@@ -264,6 +265,10 @@ class LearningSession:
             if entry is None:
                 prepared, owned = self._prepare_uncached(instance)
                 entry = self._instances[key] = (instance, prepared, token, owned)
+                # From here on, direct add/remove on the prepared instance
+                # warns once (it forces the wholesale re-conversion above);
+                # transaction()/update() mutations are patched in place.
+                prepared.mark_managed()
             prepared = entry[1]
             self.config.apply(instance=prepared)
             return prepared
@@ -401,6 +406,101 @@ class LearningSession:
         if not self.config.reuse_saturation_store:
             return None
         return lambda learner=None: self.saturation_store_for(instance, learner)
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    def update(self, instance: DatabaseInstance, delta: Delta) -> Delta:
+        """Apply a :class:`~repro.database.delta.Delta` through the session.
+
+        The streaming-update front door: where a direct mutation between
+        runs makes :meth:`prepare` throw away the converted instance, its
+        warm worker fleet, and every saturation store keyed on it, this
+        patches each of those in place —
+
+        * the source *and* the session's converted instance replay the
+          delta (one transaction each, so sharded/remote backends log one
+          coalesced change record);
+        * shared :class:`SaturationStore`\\ s drop exactly the saturations
+          whose footprint the delta touches (untouched examples stay warm;
+          dropped ones rebuild lazily on next use);
+        * a live local worker fleet is re-synced now (workers replay the
+          delta and repair their engine caches), and a remote session
+          ships one ``apply_delta`` frame instead of the full payload;
+        * the cached data token advances, so the next :meth:`prepare` is a
+          cache hit instead of a wholesale invalidation.
+
+        An instance the session has not prepared yet just replays the delta
+        onto the source.  Returns ``delta`` for chaining.
+        """
+        self._ensure_open()
+        if not isinstance(delta, Delta):
+            raise TypeError(
+                f"update() takes a Delta, got {type(delta).__name__}; "
+                f"build one with Delta.add/Delta.remove or session.feed()"
+            )
+        with self._lock:
+            entry = self._instances.get(id(instance))
+        if entry is None:
+            instance.apply_delta(delta)
+            return delta
+        source, prepared, _token, owned = entry
+        source.apply_delta(delta)
+        if prepared is not source:
+            prepared.apply_delta(delta)
+        touched = delta.touched_values()
+        with self._lock:
+            stale = id(prepared)
+            stores = [
+                store for key, store in self._stores.items() if key[0] == stale
+            ]
+            # Advance the token under the lock BEFORE patching stores: a
+            # concurrent prepare() must either see the old token (and
+            # invalidate wholesale — correct, just cold) or the new one
+            # (and reuse state this update is about to finish patching).
+            self._instances[id(instance)] = (
+                source, prepared, source.data_token(), owned
+            )
+        for store in stores:
+            store.invalidate_touching(touched)
+        backend = prepared.backend
+        local_service = getattr(backend, "_service", None)
+        sync = getattr(local_service, "sync", None)
+        if sync is not None:
+            # Live fleets replay the delta now (and repair engines in
+            # place); cold ones stay cold and build from current data.
+            sync()
+        remote = getattr(backend, "remote_service", None)
+        if remote is not None and remote.handle is not None:
+            # One apply_delta frame (or, on divergence, a full re-ship).
+            remote._ensure_registered()
+        return delta
+
+    def feed(
+        self,
+        instance: DatabaseInstance,
+        add: Optional[Dict[str, object]] = None,
+        remove: Optional[Dict[str, object]] = None,
+    ) -> Delta:
+        """Streaming shorthand for :meth:`update`.
+
+        ``add``/``remove`` map relation names to iterables of rows::
+
+            session.feed(instance,
+                         add={"advisedBy": [("p1", "s9")]},
+                         remove={"student": [("s3",)]})
+
+        builds one coalesced :class:`Delta` (removes after adds, matching
+        keyword order here: adds first) and routes it through
+        :meth:`update`.
+        """
+        ops = []
+        for op_name, mapping in (("add", add), ("remove", remove)):
+            for relation, rows in (mapping or {}).items():
+                ops.append(
+                    (op_name, relation, tuple(tuple(row) for row in rows))
+                )
+        return self.update(instance, Delta(ops).coalesced())
 
     # ------------------------------------------------------------------ #
     # Learners
