@@ -51,6 +51,7 @@ from repro.learning.coverage import (
 )
 from repro.learning.examples import Example
 from repro.logic.clauses import HornClause
+from repro.obs import provenance, span as obs_span, tracer as obs_tracer
 
 QUERY_BACKENDS = ("memory", "sqlite", "sqlite-pooled", "sqlite-sharded")
 
@@ -382,7 +383,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write a machine-readable result summary to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record spans and write a repro-trace JSON dump to OUT.json "
+        "(inspect with `python -m repro.obs.report OUT.json`)",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="OUT.json",
+        default=None,
+        help="also/instead write the trace as Chrome trace_event JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
+    if args.trace or args.trace_chrome:
+        obs_tracer().enable(process="bench")
 
     if args.backend == "all":
         backends = list(QUERY_BACKENDS)
@@ -407,26 +424,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     records: List[Dict[str, object]] = []
     all_parity = True
-    uwcse_record, parity = run_workload(
-        "uwcse",
-        uwcse.load(uwcse_config, seed=args.seed),
-        backends,
-        repeats,
-        args.parallelism,
-        clause_count,
-        args.shards,
-    )
+    # One root span per workload: with --trace, the sharded path's
+    # service.shard and worker spans all nest under it.
+    with obs_span("bench.workload", benchmark="backend_parity", workload="uwcse"):
+        uwcse_record, parity = run_workload(
+            "uwcse",
+            uwcse.load(uwcse_config, seed=args.seed),
+            backends,
+            repeats,
+            args.parallelism,
+            clause_count,
+            args.shards,
+        )
     records.append(uwcse_record)
     all_parity &= parity
-    hiv_record, parity = run_workload(
-        "hiv",
-        hiv.load(hiv_config, seed=args.seed),
-        backends,
-        repeats,
-        args.parallelism,
-        clause_count,
-        args.shards,
-    )
+    with obs_span("bench.workload", benchmark="backend_parity", workload="hiv"):
+        hiv_record, parity = run_workload(
+            "hiv",
+            hiv.load(hiv_config, seed=args.seed),
+            backends,
+            repeats,
+            args.parallelism,
+            clause_count,
+            args.shards,
+        )
     records.append(hiv_record)
     all_parity &= parity
 
@@ -444,10 +465,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             },
             "parity_ok": bool(all_parity),
             "workloads": records,
+            "provenance": provenance(benchmark="backend_parity"),
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
         print(f"\nwrote JSON summary to {args.json}")
+    if args.trace:
+        print(f"wrote trace to {obs_tracer().dump_json(args.trace)}")
+    if args.trace_chrome:
+        print(f"wrote Chrome trace to {obs_tracer().dump_chrome(args.trace_chrome)}")
 
     if not all_parity:
         print("\nFAIL: coverage paths disagree on covered examples")

@@ -46,6 +46,7 @@ from repro.learning.bottom_clause import (  # noqa: E402
     BottomClauseConfig,
 )
 from repro.learning.coverage import SubsumptionCoverageEngine  # noqa: E402
+from repro.obs import provenance, span as obs_span, tracer as obs_tracer  # noqa: E402
 
 
 def load_workload(quick: bool):
@@ -236,7 +237,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=17)
     parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record spans over the update stream and write a repro-trace "
+        "JSON dump to OUT.json",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="OUT.json",
+        default=None,
+        help="also/instead write the trace as Chrome trace_event JSON",
+    )
     args = parser.parse_args(argv)
+    if args.trace or args.trace_chrome:
+        obs_tracer().enable(process="bench")
 
     bundle, instance, examples, clauses = load_workload(args.quick)
     total = instance.total_tuples()
@@ -247,7 +263,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     cohort = select_cohort(instance, examples)
     deltas = make_stream(instance, cohort, args.rounds, args.churn, args.seed)
-    report = run_stream(instance, examples, clauses, deltas)
+    with obs_span(
+        "bench.stream", benchmark="incremental_updates", rounds=args.rounds
+    ):
+        report = run_stream(instance, examples, clauses, deltas)
     print(
         f"delta-maintain: {report['maintain_total']:.2f}s total "
         f"{report['maintain_seconds']}"
@@ -276,12 +295,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "churn": args.churn,
         **{k: v for k, v in report.items() if k != "parity_failures"},
         "parity_ok": not failures,
+        "provenance": provenance(benchmark="incremental_updates"),
     }
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if args.trace:
+        print(f"wrote trace to {obs_tracer().dump_json(args.trace)}")
+    if args.trace_chrome:
+        print(f"wrote Chrome trace to {obs_tracer().dump_chrome(args.trace_chrome)}")
     return 1 if failures else 0
 
 

@@ -51,6 +51,7 @@ from repro import LearningSession, SessionConfig  # noqa: E402
 from repro.datasets import uwcse  # noqa: E402
 from repro.experiments.harness import LearnerSpec, run_variant  # noqa: E402
 from repro.learning.bottom_clause import BottomClauseConfig  # noqa: E402
+from repro.obs import provenance, span as obs_span, tracer as obs_tracer  # noqa: E402
 from repro.progolem.progolem import ProGolemLearner, ProGolemParameters  # noqa: E402
 
 
@@ -344,6 +345,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also run the persistent-server smoke (subprocess clients)",
     )
     parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record spans over the in-process (cold/warm) runs and write "
+        "a repro-trace JSON dump to OUT.json",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="OUT.json",
+        default=None,
+        help="also/instead write the trace as Chrome trace_event JSON",
+    )
     # Internal: one client run against a running server (see client_run).
     parser.add_argument("--client-run", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--address", default=None, help=argparse.SUPPRESS)
@@ -372,7 +386,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"workload: UW-CSE[{variant}] x {args.runs} runs, folds={args.folds}, "
         f"backend={args.backend}, shards={config.shards}"
     )
-    local = run_local(bundle, variant, args.folds, args.runs, config)
+    if args.trace or args.trace_chrome:
+        obs_tracer().enable(process="bench")
+    with obs_span("bench.mode", benchmark="session_server", mode="local"):
+        local = run_local(bundle, variant, args.folds, args.runs, config)
     print(
         f"cold (new session per run): {local['cold_total']:.2f}s total "
         f"{local['cold_seconds']}"
@@ -441,10 +458,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     summary["parity_ok"] = not failures
+    summary["provenance"] = provenance(benchmark="session_server")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
         print(f"wrote {args.json}")
+    if args.trace:
+        print(f"wrote trace to {obs_tracer().dump_json(args.trace)}")
+    if args.trace_chrome:
+        print(f"wrote Chrome trace to {obs_tracer().dump_chrome(args.trace_chrome)}")
 
     if failures:
         for failure in failures:

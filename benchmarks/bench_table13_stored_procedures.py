@@ -37,6 +37,7 @@ from repro.database.instance import DatabaseInstance
 from repro.datasets import hiv, uwcse
 from repro.learning.bottom_clause import BatchSaturationEngine
 from repro.learning.examples import Example
+from repro.obs import provenance
 
 if __package__:  # pytest collects this module as part of the benchmarks package
     from .conftest import run_once
@@ -317,6 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             },
             "parity_ok": bool(all_parity),
             "workloads": records,
+            "provenance": provenance(benchmark="stored_procedures_table13"),
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)

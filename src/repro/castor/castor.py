@@ -130,6 +130,8 @@ class CastorCoverageEngine(SubsumptionCoverageEngine):
 class CastorClauseLearner(ProGolemClauseLearner):
     """Castor's LearnClause (Algorithm 4): IND-aware seed, ARMG, and reduction."""
 
+    learner_label = "Castor"
+
     def __init__(
         self,
         schema: Schema,

@@ -47,9 +47,13 @@ from typing import (
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause
 from ..logic.terms import Constant, Variable
+from ..obs import registry as obs_registry
 from .schema import RelationSchema
 
 Row = Tuple[object, ...]
+
+#: Per-pool label for registry series (a fresh pool must read zero).
+_POOL_SEQ = itertools.count(1)
 
 # SQLite refuses joins of more than 64 tables; stay safely below.
 MAX_COMPILED_ATOMS = 60
@@ -873,7 +877,13 @@ class SQLiteReadPool:
         self._source_owned = bool(source_owned)
         self._lock = threading.Lock()
         self._idle: List[Tuple[sqlite3.Connection, object]] = []
-        self.snapshots_taken = 0
+        self._c_snapshots = obs_registry().counter(
+            "sqlite.pool.snapshots", pool=next(_POOL_SEQ)
+        )
+
+    @property
+    def snapshots_taken(self) -> int:
+        return self._c_snapshots.value
 
     def _snapshot(
         self, connection: Optional[sqlite3.Connection] = None
@@ -898,7 +908,7 @@ class SQLiteReadPool:
                 )
             self._source.commit()
         self._source.backup(connection)
-        self.snapshots_taken += 1
+        self._c_snapshots.inc()
         return connection, state
 
     @contextmanager

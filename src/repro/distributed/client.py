@@ -25,11 +25,13 @@ Three layers, each usable on its own:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..database.backend import warn_once
+from ..obs import registry as obs_registry, tracer as obs_tracer
 from .backend import ShardedSQLiteBackend
 from .protocol import (
     TransportError,
@@ -42,6 +44,11 @@ from .worker import SATURATION_SPEC_KINDS, SPEC_KINDS, InstancePayload
 Row = Tuple[object, ...]
 
 _UNSYNCED = object()
+
+#: Per-facade label for registry series: each RemoteEvaluationService gets
+#: its own series so a fresh facade reads zero (the warm-run acceptance
+#: gate asserts reloads_full == 0 on a brand-new session).
+_CLIENT_SEQ = itertools.count(1)
 
 
 class ServerError(RuntimeError):
@@ -131,21 +138,39 @@ class ServiceClient:
         self.server_info = reply
 
     def request(self, kind: str, payload: object = None) -> object:
-        """One request/reply round-trip (thread-safe, serialized)."""
-        with self._lock:
-            if self._closed:
-                raise TransportError(
-                    f"client to {self.address} is closed"
-                )
-            try:
-                self._transport.send((kind, payload))
-                status, reply = self._transport.recv()
-            except TransportError:
-                # Timeout or disconnect mid-request: a late reply would be
-                # misattributed to the next request, so the stream is dead.
-                self._closed = True
-                self._transport.close()
-                raise
+        """One request/reply round-trip (thread-safe, serialized).
+
+        With tracing active, the round-trip is recorded as an ``rpc.<kind>``
+        span, the trace context rides the envelope's ``trace`` field, and
+        the spans the server (and its shard workers) recorded for this
+        request come back in the reply and are folded into the local trace
+        — one learner run yields a single tree spanning every process.
+        """
+        tracer = obs_tracer()
+        with tracer.span(f"rpc.{kind}", address=self.address) as rpc_span:
+            trace_ctx = tracer.inject()
+            message = (kind, payload, trace_ctx) if trace_ctx else (kind, payload)
+            with self._lock:
+                if self._closed:
+                    raise TransportError(
+                        f"client to {self.address} is closed"
+                    )
+                try:
+                    self._transport.send(message)
+                    response = self._transport.recv()
+                except TransportError:
+                    # Timeout or disconnect mid-request: a late reply would
+                    # be misattributed to the next request, so the stream is
+                    # dead.
+                    self._closed = True
+                    self._transport.close()
+                    raise
+            status, reply = response[0], response[1]
+            if len(response) > 2 and isinstance(response[2], dict):
+                records = response[2].get("records")
+                if records:
+                    tracer.extend(records)
+            rpc_span.set(bytes=getattr(self._transport, "last_recv_bytes", 0))
         if status == "ok":
             return reply
         error_kind, message, remote_traceback = reply
@@ -163,6 +188,10 @@ class ServiceClient:
     def server_status(self) -> Dict[str, object]:
         """Operational counters (queue depths, coalescing, drain state)."""
         return self.request("status")
+
+    def server_metrics(self) -> Dict[str, object]:
+        """The server's metrics registry: snapshot + Prometheus text."""
+        return self.request("metrics")
 
     def unregister(self, handle: str) -> bool:
         return bool(self.request("unregister", handle))
@@ -218,11 +247,44 @@ class RemoteEvaluationService:
         self._content_hash: Optional[str] = None
         self._synced_token: object = _UNSYNCED
         self._lock = threading.Lock()
-        self.reloads_full = 0
-        self.reloads_incremental = 0  # parity with EvaluationService counters
-        self.register_hits = 0
-        self.batches_served = 0
-        self.version_conflicts = 0
+        # Registry-backed counters (names mirror EvaluationService's); the
+        # plain-attribute reads below are the stable public surface.
+        _labels = {"service": next(_CLIENT_SEQ)}
+        self._c_reloads_full = obs_registry().counter(
+            "client.reloads_full", **_labels
+        )
+        self._c_reloads_incremental = obs_registry().counter(
+            "client.reloads_incremental", **_labels
+        )
+        self._c_register_hits = obs_registry().counter(
+            "client.register_hits", **_labels
+        )
+        self._c_batches_served = obs_registry().counter(
+            "client.batches_served", **_labels
+        )
+        self._c_version_conflicts = obs_registry().counter(
+            "client.version_conflicts", **_labels
+        )
+
+    @property
+    def reloads_full(self) -> int:
+        return self._c_reloads_full.value
+
+    @property
+    def reloads_incremental(self) -> int:
+        return self._c_reloads_incremental.value
+
+    @property
+    def register_hits(self) -> int:
+        return self._c_register_hits.value
+
+    @property
+    def batches_served(self) -> int:
+        return self._c_batches_served.value
+
+    @property
+    def version_conflicts(self) -> int:
+        return self._c_version_conflicts.value
 
     # ------------------------------------------------------------------ #
     # Registration (content-hash data versions)
@@ -266,7 +328,7 @@ class RemoteEvaluationService:
                         "apply_delta",
                         (self.handle, self._content_hash, content_hash, delta),
                     )
-                    self.reloads_incremental += 1
+                    self._c_reloads_incremental.inc()
                     self._content_hash = content_hash
                     self._synced_token = token
                     return self.handle
@@ -292,11 +354,11 @@ class RemoteEvaluationService:
             for attempt in (0, 1):
                 reply = self.client.request("register", (handle, content_hash))
                 if not reply["needs_payload"]:
-                    self.register_hits += 1
+                    self._c_register_hits.inc()
                     break
                 try:
                     self.client.request("load", (handle, content_hash, payload))
-                    self.reloads_full += 1
+                    self._c_reloads_full.inc()
                     break
                 except ServerError as exc:
                     if exc.kind != "UnknownHandleError" or attempt:
@@ -340,7 +402,7 @@ class RemoteEvaluationService:
                 raise
             with self._lock:
                 self._synced_token = _UNSYNCED
-                self.version_conflicts += 1
+                self._c_version_conflicts.inc()
                 if self.version_conflicts >= 2:
                     # One recovery is normal (an eviction, an operator
                     # unregister); repeated ones mean the handle keeps
@@ -387,7 +449,7 @@ class RemoteEvaluationService:
                 max(1, int(parallelism)),
             ),
         )
-        self.batches_served += 1
+        self._c_batches_served.inc()
         return [[example_list[i] for i in per_clause] for per_clause in indices]
 
     def materialize_saturations(
@@ -412,7 +474,7 @@ class RemoteEvaluationService:
                 max(1, int(parallelism)),
             ),
         )
-        self.batches_served += 1
+        self._c_batches_served.inc()
         return clauses
 
     def covered_candidates_batch(
@@ -434,7 +496,7 @@ class RemoteEvaluationService:
                 max(1, int(parallelism)),
             ),
         )
-        self.batches_served += 1
+        self._c_batches_served.inc()
         return [set(per_clause) for per_clause in covered]
 
     def stats(self) -> Optional[Dict[str, object]]:

@@ -47,6 +47,7 @@ import traceback
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..database.delta import Delta, as_delta
+from ..obs import registry as obs_registry, tracer as obs_tracer
 from . import wire
 from .client import payload_content_hash
 from .fairness import FairLock
@@ -103,7 +104,13 @@ def _advance_payload(payload: InstancePayload, delta: Delta) -> InstancePayload:
 #: introspection plus shutdown itself.  Everything else gets a typed
 #: ServerDrainingError so clients fail over instead of queueing work a
 #: dying server will never run.
-_DRAIN_ALLOWED = frozenset({"ping", "hello", "stats", "status"})
+_DRAIN_ALLOWED = frozenset({"ping", "hello", "stats", "status", "metrics"})
+
+#: Generation labels for registry series: a re-registered handle (or a
+#: second server in one process, as in tests) gets fresh series instead of
+#: resurrecting a predecessor's counts under the same name.
+_HANDLE_GEN = itertools.count(1)
+_SERVER_SEQ = itertools.count(1)
 
 
 class _RequestContext:
@@ -145,7 +152,6 @@ class ServedInstance:
         # apply_delta requests; ``collect_diff`` composes them so the warm
         # fleet is repaired in place instead of full-reloading.
         self.delta_chain: List[Tuple[str, str, Delta]] = []
-        self.deltas_applied = 0
         # Serializes batches per handle; the service's own fan-out is
         # concurrent internally, but its sticky assigner and reload check
         # are not safe under interleaved batches from two connections.
@@ -153,11 +159,34 @@ class ServedInstance:
         # admission, where the old RLock admitted unbounded waiters in
         # wake-order.
         self.lock = FairLock(max_queue=max_queue, client_quota=client_quota)
-        self.loads = 0
-        self.batches = 0
-        self.register_hits = 0
+        labels = {"handle": self.handle, "gen": next(_HANDLE_GEN)}
+        self._c_loads = obs_registry().counter("server.handle.loads", **labels)
+        self._c_batches = obs_registry().counter("server.handle.batches", **labels)
+        self._c_register_hits = obs_registry().counter(
+            "server.handle.register_hits", **labels
+        )
+        self._c_deltas_applied = obs_registry().counter(
+            "server.handle.deltas_applied", **labels
+        )
         self.last_used = 0
         self.closed = False
+
+    # Integer reads preserved for stats()/tests; writes go through .inc().
+    @property
+    def loads(self) -> int:
+        return self._c_loads.value
+
+    @property
+    def batches(self) -> int:
+        return self._c_batches.value
+
+    @property
+    def register_hits(self) -> int:
+        return self._c_register_hits.value
+
+    @property
+    def deltas_applied(self) -> int:
+        return self._c_deltas_applied.value
 
     def close(self) -> None:
         # The closed flag guards the unregister/evict race: a batch that
@@ -277,10 +306,22 @@ class ServiceServer:
         self._transports_lock = threading.Lock()
         self._inflight_batches: Dict[str, _InflightBatch] = {}
         self._coalesce_lock = threading.Lock()
-        self.batches_coalesced = 0
-        self.handshakes_rejected = 0
-        self.payloads_received = 0
-        self.connections_served = 0
+        _labels = {"server": next(_SERVER_SEQ)}
+        self._c_batches_coalesced = obs_registry().counter(
+            "server.batches_coalesced", **_labels
+        )
+        self._c_handshakes_rejected = obs_registry().counter(
+            "server.handshakes_rejected", **_labels
+        )
+        self._c_payloads_received = obs_registry().counter(
+            "server.payloads_received", **_labels
+        )
+        self._c_connections_served = obs_registry().counter(
+            "server.connections_served", **_labels
+        )
+        self._h_request_seconds = obs_registry().histogram(
+            "server.request_seconds", **_labels
+        )
         # Explicit allowlist: request kinds map to bound handlers.  The old
         # getattr(self, f"handle_{kind}") dispatch let any same-prefix
         # method become wire-reachable by accident; this table is the whole
@@ -296,6 +337,7 @@ class ServiceServer:
             "query_batch": self.handle_query_batch,
             "stats": self.handle_stats,
             "status": self.handle_status,
+            "metrics": self.handle_metrics,
             "unregister": self.handle_unregister,
         }
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -306,6 +348,22 @@ class ServiceServer:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def batches_coalesced(self) -> int:
+        return self._c_batches_coalesced.value
+
+    @property
+    def handshakes_rejected(self) -> int:
+        return self._c_handshakes_rejected.value
+
+    @property
+    def payloads_received(self) -> int:
+        return self._c_payloads_received.value
+
+    @property
+    def connections_served(self) -> int:
+        return self._c_connections_served.value
+
     @property
     def address(self) -> str:
         host, port = self._listener.getsockname()
@@ -329,7 +387,7 @@ class ServiceServer:
                 # -nothing client cannot park a thread forever; the client
                 # loop lifts the deadline once the peer has authenticated.
                 conn.settimeout(self.handshake_timeout)
-                self.connections_served += 1
+                self._c_connections_served.inc()
                 # Daemon threads, deliberately untracked: a connection
                 # lives until its client disconnects (or server close);
                 # _close_all() severs any that remain.
@@ -546,7 +604,7 @@ class ServiceServer:
             if leader:
                 batch = self._inflight_batches[key] = _InflightBatch()
             else:
-                self.batches_coalesced += 1
+                self._c_batches_coalesced.inc()
         if not leader:
             batch.event.wait()
             if batch.error is not None:
@@ -595,7 +653,7 @@ class ServiceServer:
                 and served.payload is not None
             )
             if warm:
-                served.register_hits += 1
+                served._c_register_hits.inc()
             return {
                 "needs_payload": not warm,
                 "known": served.content_hash is not None,
@@ -615,8 +673,8 @@ class ServiceServer:
             # an honest upper bound on what this handle pins in memory; the
             # byte-budget eviction keys on it.
             served.payload_bytes = ctx.frame_bytes if ctx is not None else 0
-            served.loads += 1
-            self.payloads_received += 1
+            served._c_loads.inc()
+            self._c_payloads_received.inc()
             service = self._service_for(served)
             # An already-running fleet sees the hash change through its
             # state token and full-reloads on the next batch; forcing the
@@ -659,7 +717,7 @@ class ServiceServer:
             served.payload = new_payload
             served.content_hash = new_hash
             served.record_delta(old_hash, new_hash, delta)
-            served.deltas_applied += 1
+            served._c_deltas_applied.inc()
             # payload_bytes stays the load-time bound: a delta changes the
             # footprint by at most its own (small) frame, and the budget
             # only needs an honest order-of-magnitude figure.
@@ -705,7 +763,7 @@ class ServiceServer:
             covered_lists = service.covered_examples_batch(
                 spec, clauses, examples, parallelism=max(1, int(parallelism))
             )
-            served.batches += 1
+            served._c_batches.inc()
         # One example->positions map instead of rescanning all examples per
         # clause; duplicates of an example share coverage, so every one of
         # its positions is emitted (identical to the per-clause scan).
@@ -740,7 +798,7 @@ class ServiceServer:
                 variablize=bool(variablize),
                 parallelism=max(1, int(parallelism)),
             )
-            served.batches += 1
+            served._c_batches.inc()
         return clauses
 
     def handle_query_batch(self, payload, ctx) -> List[Set[Row]]:
@@ -757,7 +815,7 @@ class ServiceServer:
             covered = service.covered_candidates_batch(
                 clauses, candidates, parallelism=max(1, int(parallelism))
             )
-            served.batches += 1
+            served._c_batches.inc()
         return covered
 
     def handle_stats(self, payload, _ctx) -> Dict[str, object]:
@@ -798,6 +856,19 @@ class ServiceServer:
             "handles": handles,
         }
 
+    def handle_metrics(self, _payload, _ctx) -> Dict[str, object]:
+        """Registry snapshot + Prometheus text exposition for scrapers.
+
+        The snapshot covers the whole process registry — server counters,
+        per-handle counters, and the per-shard service counters — so one
+        request is enough to chart the entire serving stack.
+        """
+        registry = obs_registry()
+        return {
+            "snapshot": registry.snapshot(),
+            "prometheus": registry.prometheus_text(),
+        }
+
     def handle_unregister(self, payload, ctx) -> bool:
         handle = payload
         with self._lock:
@@ -830,7 +901,7 @@ class ServiceServer:
     def _reject_handshake(
         self, transport: SocketTransport, error_type: str, message: str
     ) -> None:
-        self.handshakes_rejected += 1
+        self._c_handshakes_rejected.inc()
         self._send_reply(transport, ("error", (error_type, message, "")))
 
     def _handshake(self, transport: SocketTransport) -> Optional[str]:
@@ -857,8 +928,8 @@ class ServiceServer:
         except TransportError:
             return None
         try:
-            kind, payload = message
-        except (TypeError, ValueError):
+            kind, payload = message[0], message[1]
+        except (TypeError, IndexError):
             kind, payload = None, None
         if kind != "handshake" or not isinstance(payload, dict):
             self._reject_handshake(
@@ -950,7 +1021,8 @@ class ServiceServer:
                     continue
                 except TransportError:
                     break
-                kind, payload = message
+                kind, payload = message[0], message[1]
+                trace_ctx = message[2] if len(message) > 2 else None
                 if kind == "shutdown_server":
                     self._send_reply(transport, ("ok", None))
                     self.shutdown()
@@ -958,6 +1030,7 @@ class ServiceServer:
                 ctx = _RequestContext(
                     client_id, getattr(transport, "last_recv_bytes", 0)
                 )
+                tracer = obs_tracer()
                 # The reply send sits INSIDE the inflight window: a drain
                 # that waited only for handlers to return could sever the
                 # transport before the final reply flushed, turning
@@ -965,19 +1038,35 @@ class ServiceServer:
                 with self._track_inflight():
                     handler = self._handlers.get(kind)
                     try:
-                        if handler is None:
-                            raise ValueError(f"unknown request kind {kind!r}")
-                        if self._draining and kind not in _DRAIN_ALLOWED:
-                            raise ServerDrainingError(
-                                "server is draining for shutdown; "
-                                "no new work is accepted"
-                            )
-                        reply = ("ok", handler(payload, ctx))
+                        with tracer.activate(trace_ctx):
+                            with tracer.span(f"server.{kind}", client=client_id):
+                                with self._h_request_seconds.time():
+                                    if handler is None:
+                                        raise ValueError(
+                                            f"unknown request kind {kind!r}"
+                                        )
+                                    if (
+                                        self._draining
+                                        and kind not in _DRAIN_ALLOWED
+                                    ):
+                                        raise ServerDrainingError(
+                                            "server is draining for shutdown; "
+                                            "no new work is accepted"
+                                        )
+                                    reply = ("ok", handler(payload, ctx))
                     except Exception as exc:  # noqa: BLE001 - forwarded to client
                         reply = (
                             "error",
                             (type(exc).__name__, str(exc), traceback.format_exc()),
                         )
+                    # Ship the spans this request produced (server-side and
+                    # any folded in from the shard workers) back to the
+                    # requesting client — drained per trace id so another
+                    # tenant's spans can never ride along.
+                    if isinstance(trace_ctx, dict):
+                        records = tracer.drain(trace_ctx.get("trace_id"))
+                        if records:
+                            reply = (*reply, {"records": records})
                     delivered = self._send_reply(transport, reply)
                 if not delivered:
                     break

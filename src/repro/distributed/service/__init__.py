@@ -23,6 +23,7 @@ Failure semantics (the lifecycle-hardening contract):
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import secrets
@@ -31,6 +32,8 @@ import socket
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...obs import registry as obs_registry, tracer as obs_tracer
 
 from ..protocol import (
     SocketTransport,
@@ -79,30 +82,76 @@ def default_shard_count() -> int:
     return max(1, min(4, os.cpu_count() or 1))
 
 
-class WorkerHandle:
-    """One shard's transport + (for local workers) its process."""
+#: Distinguishes the registry series of concurrently-live services (a
+#: server process runs one fleet per registered handle).
+_SERVICE_SEQ = itertools.count(1)
 
-    def __init__(self, index: int):
+
+class WorkerHandle:
+    """One shard's transport + (for local workers) its process.
+
+    The handle also owns the shard's **reload/batch counters**.  They live
+    here — on the coordinator, in the metrics registry — rather than in the
+    worker process precisely so a worker crash + respawn cannot zero them:
+    the handle object survives the respawn, so hit-rate metrics stay
+    truthful under failure.
+    """
+
+    def __init__(self, index: int, metrics_scope: str = "unscoped"):
         self.index = index
         self.transport = None
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.remote_address: Optional[str] = None
         self.remote_token: Optional[str] = None
         self.lock = threading.Lock()
-        self.respawns = 0
+        labels = {"service": metrics_scope, "shard": index}
+        self._c_respawns = obs_registry().counter("service.shard.respawns", **labels)
+        self._c_reloads_full = obs_registry().counter(
+            "service.shard.reloads_full", **labels
+        )
+        self._c_reloads_incremental = obs_registry().counter(
+            "service.shard.reloads_incremental", **labels
+        )
+        self._c_batches = obs_registry().counter("service.shard.batches", **labels)
+
+    @property
+    def respawns(self) -> int:
+        return self._c_respawns.value
+
+    @property
+    def reloads_full(self) -> int:
+        return self._c_reloads_full.value
+
+    @property
+    def reloads_incremental(self) -> int:
+        return self._c_reloads_incremental.value
 
     @property
     def pid(self) -> Optional[int]:
         return self.process.pid if self.process is not None else None
 
     def request(self, message: Tuple[str, object]) -> object:
-        """One request/reply round-trip; raises on transport or worker error."""
+        """One request/reply round-trip; raises on transport or worker error.
+
+        When a trace context is active on the calling thread, it is
+        attached as the frame's third element and the worker's finished
+        spans come back in the reply's third element — folded straight into
+        this process's tracer buffer.
+        """
+        tracer = obs_tracer()
+        trace_ctx = tracer.inject()
+        if trace_ctx is not None:
+            message = (*message, trace_ctx)
         with self.lock:
             if self.transport is None:
                 raise TransportError(f"shard {self.index} has no live transport")
             self.transport.send(message)
             reply = self.transport.recv()
-        status, payload = reply
+        status, payload = reply[0], reply[1]
+        if len(reply) > 2 and isinstance(reply[2], dict):
+            records = reply[2].get("records")
+            if records:
+                tracer.extend(records)
         if status == "ok":
             return payload
         kind, text, remote_traceback = payload
@@ -184,8 +233,20 @@ class EvaluationService:
         self._state_token_fn = state_token_fn
         self._diff_fn = diff_fn
         self._synced_token: object = None
-        self.reloads_full = 0
-        self.reloads_incremental = 0
+        # Registry-backed counters.  The sequence label keeps each service
+        # instance on its own series, so a freshly constructed service reads
+        # zero even when an earlier one used the same names.
+        self._metrics_scope = str(next(_SERVICE_SEQ))
+        _labels = {"service": self._metrics_scope}
+        self._c_reloads_full = obs_registry().counter(
+            "service.reloads_full", **_labels
+        )
+        self._c_reloads_incremental = obs_registry().counter(
+            "service.reloads_incremental", **_labels
+        )
+        self._c_batches_served = obs_registry().counter(
+            "service.batches_served", **_labels
+        )
         # ``spawn`` keeps workers independent of coordinator threads and
         # inherited SQLite state (fork + live threads is a deadlock lottery).
         self._context = multiprocessing.get_context("spawn")
@@ -204,7 +265,19 @@ class EvaluationService:
         # proven it is the process we just spawned (the nonce travels in
         # the spawn args, never over the network in the clear).
         self._worker_secret = secrets.token_hex(16)
-        self.batches_served = 0
+
+    # Counter reads stay plain integer attributes for callers/tests.
+    @property
+    def reloads_full(self) -> int:
+        return self._c_reloads_full.value
+
+    @property
+    def reloads_incremental(self) -> int:
+        return self._c_reloads_incremental.value
+
+    @property
+    def batches_served(self) -> int:
+        return self._c_batches_served.value
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -232,7 +305,7 @@ class EvaluationService:
                     self._state_token_fn() if self._state_token_fn else None
                 )
                 for index in range(self.shards):
-                    handle = WorkerHandle(index)
+                    handle = WorkerHandle(index, self._metrics_scope)
                     # Registered before spawning so the except block below
                     # can terminate it even when the spawn half-completed.
                     self._handles.append(handle)
@@ -278,7 +351,7 @@ class EvaluationService:
                 raise RuntimeError(
                     "cannot attach workers after examples have been sharded"
                 )
-            handle = WorkerHandle(len(self._handles))
+            handle = WorkerHandle(len(self._handles), self._metrics_scope)
             handle.remote_address = address
             handle.remote_token = token
             handle.transport = connect(address, timeout=timeout)
@@ -400,7 +473,11 @@ class EvaluationService:
                 f"service closed while shard {handle.index} was in flight"
             )
         handle.terminate()
-        handle.respawns += 1
+        handle._c_respawns.inc()
+        # A respawn rebuilds from the full payload, so it *is* a full reload
+        # for this shard — counted on the surviving handle, not in the dead
+        # worker, so the reload history is not lost with the process.
+        handle._c_reloads_full.inc()
         payload = self.payload_fn()
         if handle.remote_address is not None:
             handle.transport = connect(handle.remote_address, timeout=10.0)
@@ -436,14 +513,18 @@ class EvaluationService:
             return
         diff = self._diff_fn(self._synced_token) if self._diff_fn else None
         if diff is not None:
-            self.reloads_incremental += 1
+            self._c_reloads_incremental.inc()
             message = ("apply_diff", (diff,))
         else:
-            self.reloads_full += 1
+            self._c_reloads_full.inc()
             message = ("reload", self.payload_fn())
         for handle in self._handles:
             try:
                 handle.request(message)
+                if diff is not None:
+                    handle._c_reloads_incremental.inc()
+                else:
+                    handle._c_reloads_full.inc()
             except TransportError as first_error:
                 try:
                     # A respawn rebuilds from the CURRENT full payload, so a
@@ -496,12 +577,23 @@ class EvaluationService:
         place for coverage and saturation batches alike.
         """
         buckets = self._assigner.partition(keys)
+        # Executor threads do not inherit the caller's contextvars, so the
+        # trace context is captured here and re-activated inside run_shard —
+        # otherwise the per-shard spans would detach from the batch's trace.
+        tracer = obs_tracer()
+        trace_ctx = tracer.inject()
 
         def run_shard(shard: int) -> Tuple[int, object]:
-            slice_items = [items[i] for i in buckets[shard]]
-            reply = self._request_with_retry(
-                self._handles[shard], (kind, payload_for(slice_items))
-            )
+            with tracer.activate(trace_ctx):
+                with tracer.span(
+                    "service.shard", shard=shard, kind=kind,
+                    items=len(buckets[shard]),
+                ):
+                    slice_items = [items[i] for i in buckets[shard]]
+                    reply = self._request_with_retry(
+                        self._handles[shard], (kind, payload_for(slice_items))
+                    )
+            self._handles[shard]._c_batches.inc()
             return shard, reply
 
         busy = [s for s in range(len(buckets)) if buckets[s]]
@@ -509,7 +601,7 @@ class EvaluationService:
             replies = [run_shard(s) for s in busy]
         else:
             replies = list(self._executor.map(run_shard, busy))
-        self.batches_served += 1
+        self._c_batches_served.inc()
         return buckets, replies
 
     def _fan_out(
@@ -651,13 +743,24 @@ class EvaluationService:
         for index in range(len(clause_list)):
             chunks[index % shard_count].append(index)
         worker_parallelism = self._worker_parallelism(parallelism)
+        tracer = obs_tracer()
+        trace_ctx = tracer.inject()
 
         def run_shard(shard: int) -> Tuple[int, List[int]]:
-            sub_clauses = [clause_list[i] for i in chunks[shard]]
-            masks = self._request_with_retry(
-                self._handles[shard],
-                ("query_batch", (sub_clauses, candidate_list, worker_parallelism)),
-            )
+            with tracer.activate(trace_ctx):
+                with tracer.span(
+                    "service.shard", shard=shard, kind="query_batch",
+                    items=len(chunks[shard]),
+                ):
+                    sub_clauses = [clause_list[i] for i in chunks[shard]]
+                    masks = self._request_with_retry(
+                        self._handles[shard],
+                        (
+                            "query_batch",
+                            (sub_clauses, candidate_list, worker_parallelism),
+                        ),
+                    )
+            self._handles[shard]._c_batches.inc()
             return shard, masks
 
         if shard_count <= 1:
@@ -675,7 +778,7 @@ class EvaluationService:
                     for j in range(len(candidate_list))
                     if (mask >> j) & 1
                 }
-        self.batches_served += 1
+        self._c_batches_served.inc()
         return results
 
     # ------------------------------------------------------------------ #
@@ -685,12 +788,25 @@ class EvaluationService:
         return [handle.pid for handle in self._handles]
 
     def stats(self) -> List[Dict[str, object]]:
-        """Per-shard worker statistics (pid, engines, materialized saturations)."""
+        """Per-shard worker statistics (pid, engines, materialized saturations).
+
+        The reload/batch/respawn counters merged in here live on the
+        coordinator-side handles, so they survive a worker crash + respawn
+        — the respawned worker's own view would restart from zero.
+        """
         self._ensure_ready()
-        return [
-            self._request_with_retry(handle, ("stats", None))
-            for handle in self._handles
-        ]
+        rows = []
+        for handle in self._handles:
+            row = dict(self._request_with_retry(handle, ("stats", None)))
+            row.update(
+                shard=handle.index,
+                respawns=handle.respawns,
+                reloads_full=handle.reloads_full,
+                reloads_incremental=handle.reloads_incremental,
+                batches=handle._c_batches.value,
+            )
+            rows.append(row)
+        return rows
 
     def __repr__(self) -> str:
         state = "started" if self._started else "cold"
@@ -766,6 +882,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     from ..protocol import parse_address
 
+    # Spans this process records on behalf of clients carry the server label.
+    obs_tracer().process = "server"
     host, port = parse_address(args.serve)
     server = ServiceServer(
         host,

@@ -436,28 +436,81 @@ def _build_decoders() -> Dict[str, Callable[[List[Any], int], Any]]:
 # ---------------------------------------------------------------------------
 # Envelope
 
+#: Envelope keys a trace context may carry.  ``trace_id``/``parent_id``
+#: propagate the caller's span context into the peer; ``records`` is the
+#: reply direction — finished spans shipped back to the caller.
+_TRACE_KEYS = frozenset({"trace_id", "parent_id", "records"})
+
+
+def _validate_trace(trace: Any) -> Dict[str, Any]:
+    """Check a trace envelope field against the observability contract.
+
+    The trace rides *outside* the tagged payload (plain JSON object), so it
+    gets its own strict shape check: ids must be strings, records must be a
+    list of JSON objects, and nothing else is accepted.  Returns the
+    validated dict.
+    """
+    if not isinstance(trace, dict):
+        raise WireFormatError("envelope 'trace' must be a JSON object")
+    extra = set(trace) - _TRACE_KEYS
+    if extra:
+        raise WireFormatError(f"unexpected trace keys: {sorted(extra)!r}")
+    for field in ("trace_id", "parent_id"):
+        if field in trace and not isinstance(trace[field], str):
+            raise WireFormatError(f"trace {field!r} must be a string")
+    records = trace.get("records")
+    if records is not None:
+        if not isinstance(records, list) or not all(
+            isinstance(entry, dict) for entry in records
+        ):
+            raise WireFormatError("trace records must be a list of objects")
+    return trace
+
 
 def dumps(message: Tuple[str, Any]) -> bytes:
-    """Encode a ``(kind, payload)`` message into an envelope frame body."""
-    try:
-        kind, payload = message
-    except (TypeError, ValueError) as exc:
-        raise WireFormatError(f"message must be a (kind, payload) pair: {exc}") from exc
+    """Encode a message into an envelope frame body.
+
+    ``message`` is ``(kind, payload)`` or ``(kind, payload, trace)`` — the
+    optional third element is the observability trace context (span ids on
+    requests, finished span records on replies) and travels as a plain JSON
+    ``"trace"`` envelope key, outside the tagged payload.  A ``None``/empty
+    trace encodes exactly like the two-element form, so untraced requests
+    are byte-identical to the pre-trace wire format.
+    """
+    trace = None
+    if isinstance(message, tuple) and len(message) == 3:
+        kind, payload, trace = message
+        if trace is not None:
+            trace = _validate_trace(trace)
+    else:
+        try:
+            kind, payload = message
+        except (TypeError, ValueError) as exc:
+            raise WireFormatError(
+                f"message must be a (kind, payload[, trace]) tuple: {exc}"
+            ) from exc
     if not isinstance(kind, str):
         raise WireFormatError("message kind must be a string")
     try:
         envelope = {"v": WIRE_VERSION, "kind": kind, "payload": encode_value(payload)}
+        if trace:
+            envelope["trace"] = trace
         return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
     except RecursionError as exc:  # pragma: no cover - MAX_WIRE_DEPTH fires first
         raise WireFormatError("payload nests too deeply to encode") from exc
 
 
 def loads(data: bytes) -> Tuple[str, Any]:
-    """Decode an envelope frame body into ``(kind, payload)``.
+    """Decode an envelope frame body into ``(kind, payload[, trace])``.
 
     Never executes embedded bytes: the body must be UTF-8 JSON with the
-    ``{"v", "kind", "payload"}`` shape, and the payload must decode through
-    the tag whitelist.  Anything else raises :class:`WireFormatError`.
+    ``{"v", "kind", "payload"}`` shape (plus an optional ``"trace"``
+    context object), and the payload must decode through the tag whitelist.
+    Anything else raises :class:`WireFormatError`.
+
+    Returns the two-element tuple for untraced frames — the overwhelmingly
+    common case, and what every pre-trace caller unpacks — and a
+    three-element tuple when the peer attached a trace context.
     """
     try:
         envelope = json.loads(data.decode("utf-8"))
@@ -475,13 +528,18 @@ def loads(data: bytes) -> Tuple[str, Any]:
     kind = envelope.get("kind")
     if not isinstance(kind, str) or not kind:
         raise WireFormatError("envelope 'kind' must be a non-empty string")
-    extra = set(envelope) - {"v", "kind", "payload"}
+    extra = set(envelope) - {"v", "kind", "payload", "trace"}
     if extra:
         raise WireFormatError(f"unexpected envelope keys: {sorted(extra)!r}")
+    trace = envelope.get("trace")
+    if trace is not None:
+        trace = _validate_trace(trace)
     try:
         payload = decode_value(envelope.get("payload"))
     except RecursionError as exc:
         raise WireFormatError("frame payload nests too deeply") from exc
+    if trace:
+        return kind, payload, trace
     return kind, payload
 
 

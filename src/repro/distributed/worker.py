@@ -333,7 +333,17 @@ class WorkerState:
 
 
 def serve_loop(transport) -> None:
-    """Answer requests on one transport until shutdown or peer loss."""
+    """Answer requests on one transport until shutdown or peer loss.
+
+    Messages may carry a third **trace context** element
+    (``(kind, payload, {"trace_id": ..., "parent_id": ...})``).  The worker
+    then records a ``worker.<kind>`` span under the coordinator's span and
+    ships every finished span of that trace back in the reply's third
+    element — that is how one learner run's trace tree reaches across the
+    process boundary into the shard workers.
+    """
+    from ..obs import tracer as obs_tracer
+
     state = WorkerState()
     handlers = state.handlers()
     while True:
@@ -341,7 +351,8 @@ def serve_loop(transport) -> None:
             message = transport.recv()
         except TransportError:
             break  # coordinator went away; nothing left to serve
-        kind, payload = message
+        kind, payload = message[0], message[1]
+        trace_ctx = message[2] if len(message) > 2 else None
         if kind == "shutdown":
             try:
                 transport.send(("ok", None))
@@ -353,23 +364,38 @@ def serve_loop(transport) -> None:
             # hit by the OOM killer — no reply, no cleanup.
             os._exit(13)
         handler = handlers.get(kind)
+        tracer = obs_tracer()
         try:
             if handler is None:
                 raise ValueError(f"unknown request kind {kind!r}")
-            reply = ("ok", handler(payload))
+            with tracer.activate(trace_ctx):
+                with tracer.span(f"worker.{kind}"):
+                    reply = ("ok", handler(payload))
         except Exception as exc:  # noqa: BLE001 - forwarded to the coordinator
             reply = (
                 "error",
                 (type(exc).__name__, str(exc), traceback.format_exc()),
             )
+        if trace_ctx is not None and isinstance(trace_ctx, dict):
+            records = tracer.drain(trace_ctx.get("trace_id"))
+            if records:
+                reply = (*reply, {"records": records})
         try:
             transport.send(reply)
         except TransportError:
             break
 
 
+def _label_worker_process() -> None:
+    """Stamp span records from this process as shard-worker spans."""
+    from ..obs import tracer as obs_tracer
+
+    obs_tracer().process = f"worker-{os.getpid()}"
+
+
 def pipe_worker_main(connection) -> None:
     """Process target for a pipe-transport worker."""
+    _label_worker_process()
     transport = PipeTransport(connection)
     try:
         serve_loop(transport)
@@ -384,6 +410,7 @@ def socket_worker_main(host: str, port: int, secret: Optional[str] = None) -> No
     with a raw-bytes preamble before any pickle frame flows — the
     coordinator will not unpickle from a dialer that cannot.
     """
+    _label_worker_process()
     sock = socket.create_connection((host, port))
     if secret is not None:
         send_auth_proof(sock, secret)
@@ -408,6 +435,7 @@ def serve(
     preamble *before decoding anything* and silently drops dialers that
     fail it (``EvaluationService.attach_remote(..., token=...)`` sends it).
     """
+    _label_worker_process()
     host, port = parse_address(address)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

@@ -19,6 +19,7 @@ from ..learning.knobs import EvaluationKnobs
 from ..learning.covering import CoveringLearner, CoveringParameters
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
+from ..obs import span as obs_span
 from .gain import foil_gain, precision
 from .refinement import RefinementConfig, RefinementOperator, initial_clause
 
@@ -64,6 +65,8 @@ class FoilParameters:
 
 class _FoilClauseLearner:
     """LearnClause strategy: greedy gain-driven literal addition."""
+
+    learner_label = "FOIL"
 
     def __init__(self, schema: Schema, parameters: FoilParameters, coverage: QueryCoverageEngine):
         self.schema = schema
@@ -126,15 +129,18 @@ class _FoilClauseLearner:
         second, smaller batch).  Returns ``(gain, new_pos, new_neg) | None``
         per candidate, in input order.
         """
-        pos_lists = self.batch.covered_examples_batch(candidates, covered_pos)
-        survivors = [
-            index
-            for index, new_pos in enumerate(pos_lists)
-            if len(new_pos) >= self.parameters.min_positives
-        ]
-        neg_lists = self.batch.covered_examples_batch(
-            [candidates[index] for index in survivors], covered_neg
-        )
+        with obs_span(
+            "learn.score", learner=self.learner_label, candidates=len(candidates)
+        ):
+            pos_lists = self.batch.covered_examples_batch(candidates, covered_pos)
+            survivors = [
+                index
+                for index, new_pos in enumerate(pos_lists)
+                if len(new_pos) >= self.parameters.min_positives
+            ]
+            neg_lists = self.batch.covered_examples_batch(
+                [candidates[index] for index in survivors], covered_neg
+            )
         results: List[Optional[tuple]] = [None] * len(candidates)
         for index, new_neg in zip(survivors, neg_lists):
             new_pos = pos_lists[index]

@@ -28,6 +28,7 @@ from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
 from ..logic.lgg import lgg_clauses, rlgg
 from ..logic.minimize import minimize_clause
+from ..obs import span as obs_span
 
 
 class GolemParameters:
@@ -55,6 +56,8 @@ class GolemParameters:
 class _GolemClauseLearner:
     """LearnClause: pairwise rlgg of sampled saturations, then greedy extension."""
 
+    learner_label = "Golem"
+
     def __init__(self, parameters: GolemParameters, coverage: SubsumptionCoverageEngine):
         self.parameters = parameters
         self.coverage = coverage
@@ -73,7 +76,10 @@ class _GolemClauseLearner:
         sample = sample[: max(2, self.parameters.sample_size)]
         # The sampled saturations feed every pairwise rlgg below; build them
         # as one batch instead of a per-example loop.
-        self.coverage.prepare(sample)
+        with obs_span(
+            "learn.saturate", learner=self.learner_label, examples=len(sample)
+        ):
+            self.coverage.prepare(sample)
 
         candidates: List[HornClause] = []
         for i in range(len(sample)):
@@ -87,14 +93,23 @@ class _GolemClauseLearner:
             single = self.coverage.saturation(sample[0])
             candidates.append(single)
 
-        acceptable = [c for c in candidates if self._acceptable(c, uncovered_positives, negatives)]
-        if not acceptable:
-            return None
+        with obs_span(
+            "learn.score", learner=self.learner_label, candidates=len(candidates)
+        ):
+            acceptable = [
+                c
+                for c in candidates
+                if self._acceptable(c, uncovered_positives, negatives)
+            ]
+            if not acceptable:
+                return None
 
-        best = max(
-            acceptable,
-            key=lambda c: self.coverage.evaluate(c, list(uncovered_positives), list(negatives)).coverage_score(),
-        )
+            best = max(
+                acceptable,
+                key=lambda c: self.coverage.evaluate(
+                    c, list(uncovered_positives), list(negatives)
+                ).coverage_score(),
+            )
         remaining = [e for e in sample if not self.coverage.covers(best, e)]
 
         improved = True
@@ -121,7 +136,8 @@ class _GolemClauseLearner:
                     best = extended
                     remaining.remove(example)
                     improved = True
-        return minimize_clause(best)
+        with obs_span("learn.reduce", learner=self.learner_label):
+            return minimize_clause(best)
 
     # ------------------------------------------------------------------ #
     def _pair_rlgg(self, first: Example, second: Example) -> Optional[HornClause]:

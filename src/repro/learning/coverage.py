@@ -23,6 +23,7 @@ covering loop uses to score a whole generation of refinements in one call
 
 from __future__ import annotations
 
+import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -44,6 +45,12 @@ from .bottom_clause import (
     BottomClauseConfig,
 )
 from .examples import Example
+from ..obs import registry as obs_registry
+
+#: Per-engine label for registry series: each engine instance keeps its own
+#: series, so counters on a fresh engine start at zero (tests and benchmarks
+#: read them as plain attributes, which stay the stable surface).
+_ENGINE_SEQ = itertools.count(1)
 
 
 class CoverageResult:
@@ -140,9 +147,28 @@ class SubsumptionCoverageEngine:
         # workers never race to create two stores (whose independent id
         # sequences would collide in _compiled_ids).
         self._materialize_lock = threading.Lock()
-        self.coverage_tests_performed = 0
-        self.cache_hits = 0
-        self.compiled_statements = 0
+        _labels = {"engine": next(_ENGINE_SEQ)}
+        self._c_tests = obs_registry().counter(
+            "coverage.subsumption.tests", **_labels
+        )
+        self._c_cache_hits = obs_registry().counter(
+            "coverage.subsumption.cache_hits", **_labels
+        )
+        self._c_compiled_statements = obs_registry().counter(
+            "coverage.subsumption.compiled_statements", **_labels
+        )
+
+    @property
+    def coverage_tests_performed(self) -> int:
+        return self._c_tests.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._c_cache_hits.value
+
+    @property
+    def compiled_statements(self) -> int:
+        return self._c_compiled_statements.value
 
     @property
     def builder(self) -> BottomClauseBuilder:
@@ -232,13 +258,13 @@ class SubsumptionCoverageEngine:
             with self._lock:
                 cached = self._coverage_cache.get(key)
             if cached is not None:
-                self.cache_hits += 1
+                self._c_cache_hits.inc()
                 return cached
         result = self.subsumption.covers_example(
             clause, self.saturation(example), self.saturation_index(example)
         )
         with self._lock:
-            self.coverage_tests_performed += 1
+            self._c_tests.inc()
             if use_cache:
                 self._coverage_cache[key] = result
         return result
@@ -382,7 +408,7 @@ class SubsumptionCoverageEngine:
             for example in dict.fromkeys(examples):
                 cached = self._coverage_cache.get((clause, example))
                 if cached is not None:
-                    self.cache_hits += 1
+                    self._c_cache_hits.inc()
                     flags[example] = cached
                     continue
                 example_id = self._compiled_ids.get(example)
@@ -397,12 +423,12 @@ class SubsumptionCoverageEngine:
                 )
             except CompilationNotSupported:
                 return None
-            self.compiled_statements += 1
+            self._c_compiled_statements.inc()
             with self._lock:
                 for example, example_id in uncached:
                     flag = example_id in covered_ids
                     self._coverage_cache[(clause, example)] = flag
-                    self.coverage_tests_performed += 1
+                    self._c_tests.inc()
                     flags[example] = flag
         for example in pending:
             flags[example] = self.covers(clause, example)
@@ -512,11 +538,17 @@ class QueryCoverageEngine:
     def __init__(self, instance: DatabaseInstance):
         self.instance = instance
         self.evaluator = QueryEvaluator(instance)
-        self.coverage_tests_performed = 0
+        self._c_tests = obs_registry().counter(
+            "coverage.query.tests", engine=next(_ENGINE_SEQ)
+        )
+
+    @property
+    def coverage_tests_performed(self) -> int:
+        return self._c_tests.value
 
     def covers(self, clause: HornClause, example: Example) -> bool:
         """True when the clause derives the example tuple from the database."""
-        self.coverage_tests_performed += 1
+        self._c_tests.inc()
         return self.evaluator.clause_covers_tuple(clause, example.values)
 
     def covered_examples(
@@ -525,7 +557,7 @@ class QueryCoverageEngine:
         covered = self.evaluator.covered_tuples(
             clause, [example.values for example in examples]
         )
-        self.coverage_tests_performed += len(examples)
+        self._c_tests.inc(len(examples))
         return [example for example in examples if example.values in covered]
 
     def covered_examples_batch(
@@ -546,7 +578,7 @@ class QueryCoverageEngine:
         covered_sets = self.evaluator.covered_tuples_batch(
             clause_list, values, parallelism=parallelism
         )
-        self.coverage_tests_performed += len(examples) * len(clause_list)
+        self._c_tests.inc(len(examples) * len(clause_list))
         return [
             [example for example in examples if example.values in covered]
             for covered in covered_sets

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Protocol, Sequence
 
 from ..database.instance import DatabaseInstance
 from ..logic.clauses import HornClause, HornDefinition
+from ..obs import span as obs_span
 from .examples import Example, ExampleSet
 
 
@@ -89,6 +90,9 @@ class CoveringLearner:
         uncovered = list(examples.positives)
         negatives = list(examples.negatives)
         start = time.perf_counter()
+        learner = getattr(
+            self.clause_learner, "learner_label", type(self.clause_learner).__name__
+        )
 
         while uncovered and len(definition) < self.parameters.max_clauses:
             if (
@@ -99,10 +103,14 @@ class CoveringLearner:
             clause = self.clause_learner.learn_clause(instance, uncovered, negatives)
             if clause is None:
                 break
-            covered = self.coverage_fn(clause, uncovered)
-            if len(covered) < max(1, self.parameters.min_positives):
-                break
-            precision = self.precision_fn(clause, uncovered, negatives)
+            with obs_span(
+                "learn.cover", learner=learner, uncovered=len(uncovered)
+            ) as cover_span:
+                covered = self.coverage_fn(clause, uncovered)
+                if len(covered) < max(1, self.parameters.min_positives):
+                    break
+                precision = self.precision_fn(clause, uncovered, negatives)
+                cover_span.set(covered=len(covered))
             if precision < self.parameters.min_precision:
                 # The best clause of this round is too imprecise; covering
                 # cannot improve it, so stop rather than loop forever.

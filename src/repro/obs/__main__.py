@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` forwards to the report CLI."""
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from ..learning.knobs import EvaluationKnobs
 from ..learning.examples import Example, ExampleSet
 from ..logic.clauses import HornClause, HornDefinition
 from ..logic.minimize import minimize_clause
+from ..obs import span as obs_span
 from .armg import armg
 
 
@@ -75,6 +76,9 @@ class ProGolemClauseLearner:
     Subclassed by Castor, which overrides bottom-clause construction, the
     ARMG step, and the final reduction.
     """
+
+    #: Name stamped on learn.* spans (Castor's subclass overrides it).
+    learner_label = "ProGolem"
 
     def __init__(
         self,
@@ -141,7 +145,12 @@ class ProGolemClauseLearner:
         # Saturate the whole generation in ONE batch call (sharded backends
         # fan construction across their worker fleet) instead of letting the
         # beam loop build saturations one example at a time.
-        self.coverage.prepare([*positives, *negatives])
+        with obs_span(
+            "learn.saturate",
+            learner=self.learner_label,
+            examples=len(positives) + len(negatives),
+        ):
+            self.coverage.prepare([*positives, *negatives])
         seed = positives[0]
         seed_clause = self.build_seed_clause(instance, seed)
         if not seed_clause.body:
@@ -169,7 +178,14 @@ class ProGolemClauseLearner:
                     generation.append(candidate)
             if not generation:
                 break
-            results = self.batch.evaluate_batch(generation, positives, negatives)
+            with obs_span(
+                "learn.score",
+                learner=self.learner_label,
+                candidates=len(generation),
+            ):
+                results = self.batch.evaluate_batch(
+                    generation, positives, negatives
+                )
             scored = [
                 (result.coverage_score(), candidate)
                 for candidate, result in zip(generation, results)
@@ -182,7 +198,8 @@ class ProGolemClauseLearner:
             best_score = scored[0][0]
 
         best = max(beam, key=lambda c: self._score(c, positives, negatives))
-        reduced = self.reduce(best, instance, negatives)
+        with obs_span("learn.reduce", learner=self.learner_label):
+            reduced = self.reduce(best, instance, negatives)
         result = self.coverage.evaluate(reduced, positives, negatives)
         if result.positives_covered < self.parameters.min_positives:
             return None

@@ -104,6 +104,14 @@ class SessionConfig:
         server surfaces as :class:`~repro.distributed.TransportError`
         instead of blocking ``learn()`` forever; ``None`` (default) waits
         indefinitely.
+    trace:
+        Enable end-to-end span tracing for this session (see
+        :mod:`repro.obs`).  Every ``session.run`` then records a span tree
+        covering learner phases, RPC round-trips, and — on remote/sharded
+        backends — the server's and shard workers' spans, all under one
+        trace id.  Dump with :meth:`LearningSession.trace_dump`.  Off by
+        default: the disabled path costs one attribute check per
+        would-be span.
     """
 
     backend: Optional[str] = None
@@ -118,6 +126,7 @@ class SessionConfig:
     instance_handle: Optional[str] = None
     auth_token: Optional[str] = None
     request_timeout: Optional[float] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.parallelism is not None:

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..database.delta import Delta
 from ..database.instance import DatabaseInstance
 from ..database.sqlite_backend import SaturationStore
+from ..obs import registry as obs_registry, span as obs_span, tracer as obs_tracer
 from .config import SessionConfig, warn_once
 
 
@@ -185,6 +186,8 @@ class LearningSession:
         self._stores: Dict[object, SaturationStore] = {}
         self._closed = False
         self._resources = _SessionResources()
+        if config.trace:
+            self.enable_tracing()
         if config.service_address is not None:
             from ..distributed.client import ServiceClient
 
@@ -585,18 +588,29 @@ class LearningSession:
         from ..experiments.harness import run_variant
 
         spec = self._as_spec(learner, parameters)
-        return run_variant(
-            bundle, variant_name, spec, folds=folds, seed=seed, session=self
-        )
+        # The root of the trace tree: every learner-phase span, RPC span,
+        # and (via span shipping) server/worker span of this run hangs off
+        # it under one trace id.
+        with obs_span(
+            "session.run",
+            variant=str(variant_name),
+            learner=spec.name,
+            folds=int(folds),
+        ):
+            return run_variant(
+                bundle, variant_name, spec, folds=folds, seed=seed, session=self
+            )
 
     def sweep(self, bundle, learners, variants=None, folds=3, seed=0):
         """Every learner on every schema variant (one of the paper's tables)."""
         from ..experiments.harness import run_schema_sweep
 
         specs = [self._as_spec(learner) for learner in learners]
-        return run_schema_sweep(
-            bundle, specs, variants=variants, folds=folds, seed=seed, session=self
-        )
+        with obs_span("session.sweep", learners=len(specs)):
+            return run_schema_sweep(
+                bundle, specs, variants=variants, folds=folds, seed=seed,
+                session=self,
+            )
 
     def check_schema_independence(self, bundle, learner, variants=None, seed=0):
         """Direct empirical schema-independence check (Definition 3.10)."""
@@ -684,6 +698,56 @@ class LearningSession:
         """The persistent server's global stats (``None`` for local sessions)."""
         client = self.client
         return None if client is None else client.server_stats()
+
+    # ------------------------------------------------------------------ #
+    # Observability (see docs/observability.md)
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> Dict[str, object]:
+        """Unified metrics: this process's registry snapshot, plus the
+        persistent server's when the session is remote.
+
+        Both halves use the same shape (``name{labels} -> value`` for
+        counters/gauges, summary dicts for histograms), so dashboards can
+        merge them without translation; ``server`` additionally carries the
+        server registry's Prometheus text exposition.
+        """
+        self._ensure_open()
+        result: Dict[str, object] = {"local": obs_registry().snapshot()}
+        client = self.client
+        if client is not None:
+            result["server"] = client.server_metrics()
+        return result
+
+    def enable_tracing(self, process: str = "client") -> None:
+        """Start recording spans (idempotent; ``config.trace=True`` calls
+        this at construction).  ``process`` labels this process's spans in
+        dumps — the server and its workers label their own."""
+        obs_tracer().enable(process=process)
+
+    def disable_tracing(self) -> None:
+        obs_tracer().disable()
+
+    def trace_records(self) -> List[Dict[str, object]]:
+        """Every span recorded so far (local + shipped back from the
+        server/workers), as plain dicts."""
+        return [record.to_dict() for record in obs_tracer().records()]
+
+    def trace_dump(self, path: str, chrome: bool = False) -> str:
+        """Write the recorded trace to ``path`` and return the path.
+
+        Default format is the ``repro-trace`` JSON consumed by
+        ``python -m repro.obs.report``; ``chrome=True`` writes Chrome
+        ``trace_event`` JSON instead (load in chrome://tracing or
+        Perfetto).
+        """
+        tracer = obs_tracer()
+        if chrome:
+            return tracer.dump_chrome(path)
+        return tracer.dump_json(path)
+
+    def clear_trace(self) -> None:
+        """Drop recorded spans (e.g. between runs being dumped separately)."""
+        obs_tracer().clear()
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -79,7 +79,7 @@ def test_shard_failed_error_when_respawn_cannot_recover(
     batch_values(pipe_service, clauses, examples)  # shards warmed up
 
     def broken_respawn(handle):
-        handle.respawns += 1
+        handle._c_respawns.inc()
         raise TransportError("simulated unrecoverable shard host")
 
     monkeypatch.setattr(pipe_service, "_respawn", broken_respawn)

@@ -1,0 +1,22 @@
+"""Tracer hygiene for the observability tests.
+
+The tracer is a process-global singleton; a test that enables it and
+leaks the flag would make every later span() call in the suite allocate
+and record.  Every test in this package gets a disabled, empty tracer on
+both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer().disable()
+    tracer().clear()
+    yield
+    tracer().disable()
+    tracer().clear()

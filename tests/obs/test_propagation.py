@@ -1,0 +1,135 @@
+"""Cross-process trace propagation: one learner run, one trace tree.
+
+The acceptance contract of the tracing subsystem: a single traced
+``LearningSession.run`` against a live persistent server produces spans
+from the client (``session.run``, ``rpc.*``), the server request loop
+(``server.*``), and at least two real shard-worker processes
+(``worker.*``) — all under ONE trace id, parented into one tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LearningSession
+from repro.datasets import uwcse
+from repro.distributed import ServiceServer
+from repro.experiments.harness import LearnerSpec
+from repro.learning.bottom_clause import BottomClauseConfig
+from repro.obs import tracer
+from repro.progolem.progolem import ProGolemLearner, ProGolemParameters
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle():
+    return uwcse.load(
+        uwcse.UwCseConfig(num_students=10, num_professors=3, num_courses=5), seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = ServiceServer("127.0.0.1", 0, shards=2)
+    server.start_in_thread()
+    yield server
+    server.shutdown()
+
+
+def progolem_spec() -> LearnerSpec:
+    def factory(schema):
+        return ProGolemLearner(
+            schema,
+            ProGolemParameters(
+                sample_size=2,
+                beam_width=2,
+                max_armg_rounds=2,
+                max_clauses=4,
+                bottom_clause=BottomClauseConfig(max_depth=2, max_total_literals=20),
+            ),
+        )
+
+    return LearnerSpec("ProGolem", factory)
+
+
+def test_one_run_yields_one_trace_tree_across_processes(tiny_bundle, server):
+    variant = tiny_bundle.variant_names[0]
+    with LearningSession.connect(server.address, trace=True) as session:
+        session.run(tiny_bundle, variant, progolem_spec(), folds=2)
+        records = [r for r in tracer().records()]
+
+    roots = [r for r in records if r.name == "session.run"]
+    assert len(roots) == 1, "exactly one root span per session.run"
+    root = roots[0]
+    assert root.parent_id is None
+    assert root.attrs["learner"] == "ProGolem"
+
+    # EVERY span of the run — client, server, workers — shares the root's
+    # trace id: one logical run, one tree.
+    run_spans = [r for r in records if r.trace_id == root.trace_id]
+    stray = [r for r in records if r.trace_id != root.trace_id]
+    assert not stray, f"spans outside the run's trace: {[r.name for r in stray]}"
+
+    names = {r.name for r in run_spans}
+    assert any(name.startswith("rpc.") for name in names), names
+    assert any(name.startswith("server.") for name in names), names
+    assert any(name.startswith("learn.") for name in names), names
+    assert "service.shard" in names, names
+
+    worker_spans = [r for r in run_spans if r.process.startswith("worker-")]
+    worker_processes = {r.process for r in worker_spans}
+    assert len(worker_processes) >= 2, (
+        f"expected spans from >= 2 shard workers, got {worker_processes}"
+    )
+
+    # Tree integrity: every non-root span's parent is another span of the
+    # same trace (the server/worker spans hang off the rpc/scatter spans
+    # that carried their context over the wire).
+    by_id = {r.span_id for r in run_spans}
+    orphans = [
+        r.name for r in run_spans if r.parent_id is not None and r.parent_id not in by_id
+    ]
+    assert not orphans, f"spans with a missing parent: {orphans}"
+
+
+def test_untraced_sessions_record_nothing(tiny_bundle, server):
+    variant = tiny_bundle.variant_names[0]
+    with LearningSession.connect(server.address) as session:
+        session.run(tiny_bundle, variant, progolem_spec(), folds=2)
+    assert tracer().records() == []
+
+
+def test_session_metrics_includes_the_server_half(tiny_bundle, server):
+    variant = tiny_bundle.variant_names[0]
+    with LearningSession.connect(server.address) as session:
+        session.run(tiny_bundle, variant, progolem_spec(), folds=2)
+        metrics = session.metrics()
+    assert set(metrics) == {"local", "server"}
+    local = metrics["local"]
+    assert {"counters", "gauges", "histograms"} <= set(local)
+    remote = metrics["server"]
+    assert {"snapshot", "prometheus"} <= set(remote)
+    snapshot = remote["snapshot"]
+    assert any(
+        name.startswith("server.") for name in snapshot["counters"]
+    ), snapshot["counters"]
+    assert "# TYPE" in remote["prometheus"]
+
+
+def test_trace_dump_from_a_live_run(tiny_bundle, server, tmp_path):
+    variant = tiny_bundle.variant_names[0]
+    with LearningSession.connect(server.address, trace=True) as session:
+        session.run(tiny_bundle, variant, progolem_spec(), folds=2)
+        json_path = session.trace_dump(str(tmp_path / "trace.json"))
+        chrome_path = session.trace_dump(
+            str(tmp_path / "trace_chrome.json"), chrome=True
+        )
+    from repro.obs.report import load_spans, phase_table
+
+    spans = load_spans(json_path)
+    assert spans, "dump holds the run's spans"
+    rows = phase_table(spans)
+    assert any(row["name"] == "session.run" for row in rows)
+    import json as json_module
+
+    chrome = json_module.loads(open(chrome_path).read())
+    assert chrome["traceEvents"], "chrome dump holds events"
