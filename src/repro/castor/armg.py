@@ -86,11 +86,24 @@ def castor_armg(
     coverage: SubsumptionCoverageEngine,
     schema: Schema,
     include_subset_inds: bool = False,
+    batch=None,
+    probe_width: Optional[int] = None,
 ) -> HornClause:
-    """Castor's ARMG: standard ARMG with IND-consistency enforcement after each removal."""
+    """Castor's ARMG: standard ARMG with IND-consistency enforcement after each removal.
+
+    ``batch`` / ``probe_width`` forward to the blocking-atom search's batched
+    prefix probes (see :func:`repro.progolem.armg.find_blocking_atom`).
+    """
     enforcer = IndConsistencyEnforcer(schema, include_subset_inds)
 
     def hook(clause: HornClause, _removed: Atom) -> HornClause:
         return enforcer.enforce(clause)
 
-    return armg(bottom_clause, example, coverage, post_removal_hook=hook)
+    return armg(
+        bottom_clause,
+        example,
+        coverage,
+        post_removal_hook=hook,
+        batch=batch,
+        probe_width=probe_width,
+    )

@@ -64,6 +64,7 @@ class CastorParameters(ProGolemParameters):
         ensure_safe: bool = True,
         max_seconds: Optional[float] = None,
         parallelism: int = 1,
+        prefetch: Optional[bool] = None,
     ):
         super().__init__(
             sample_size=sample_size,
@@ -76,6 +77,7 @@ class CastorParameters(ProGolemParameters):
             seed=seed,
             max_seconds=max_seconds,
             parallelism=parallelism,
+            prefetch=prefetch,
         )
         self.use_subset_inds = bool(use_subset_inds)
         self.promote_inds_from_data = bool(promote_inds_from_data)
@@ -163,6 +165,7 @@ class CastorClauseLearner(ProGolemClauseLearner):
             self.coverage,
             self.working_schema,
             include_subset_inds=self.parameters.use_subset_inds,
+            batch=self.batch,
         )
 
     def reduce(
@@ -176,6 +179,7 @@ class CastorClauseLearner(ProGolemClauseLearner):
             self.coverage,
             include_subset_inds=self.parameters.use_subset_inds,
             ensure_safe=self.parameters.ensure_safe,
+            batch=self.batch,
         )
         reduced = reducer.reduce(clause, negatives)
         if reduced.body:

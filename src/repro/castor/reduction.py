@@ -11,10 +11,10 @@ the reduced clause remains safe.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..database.schema import Schema
-from ..learning.coverage import SubsumptionCoverageEngine
+from ..learning.coverage import BatchCoverageEngine, SubsumptionCoverageEngine
 from ..learning.examples import Example
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause
@@ -27,7 +27,19 @@ from .inclusion_instances import (
 
 
 class NegativeReducer:
-    """Reduce clauses by discarding non-essential inclusion-class instances."""
+    """Reduce clauses by discarding non-essential inclusion-class instances.
+
+    Each negative-coverage probe (one prefix clause against the whole
+    negative example list) is routed through a
+    :class:`~repro.learning.coverage.BatchCoverageEngine`, so a probe is a
+    single batched — poolable / shardable — evaluation rather than a
+    per-example Python loop; the prefix boundary search additionally probes
+    ``probe_width`` interior points per round (multi-way section search) so
+    one batched call narrows the boundary as much as ``probe_width``
+    sequential bisection steps would.  Pass ``batched=False`` to keep the
+    original per-example sequential probes (the parity tests pit the two
+    against each other).
+    """
 
     def __init__(
         self,
@@ -36,12 +48,28 @@ class NegativeReducer:
         include_subset_inds: bool = False,
         ensure_safe: bool = True,
         max_iterations: int = 50,
+        batch: Optional[BatchCoverageEngine] = None,
+        batched: bool = True,
+        probe_width: Optional[int] = None,
     ):
         self.schema = schema
         self.coverage = coverage
         self.include_subset_inds = include_subset_inds
         self.ensure_safe = ensure_safe
         self.max_iterations = int(max_iterations)
+        if batch is not None:
+            self.batch: Optional[BatchCoverageEngine] = batch
+        elif batched:
+            self.batch = BatchCoverageEngine(coverage)
+        else:
+            self.batch = None
+        if probe_width is None:
+            # Default the section width to the batch's clause-level fan-out:
+            # sequential configurations keep bisection's probe count, while
+            # pooled/sharded ones trade extra (concurrent) probes for fewer
+            # rounds.
+            probe_width = self.batch.parallelism if self.batch is not None else 1
+        self.probe_width = max(1, int(probe_width))
 
     # ------------------------------------------------------------------ #
     def reduce(
@@ -51,10 +79,7 @@ class NegativeReducer:
         negatives = list(negatives)
         if not clause.body:
             return clause
-        covered_negatives = [
-            e for e in negatives if self.coverage.covers(clause, e, use_cache=False)
-        ]
-        target_count = len(covered_negatives)
+        target_count = self._covered_negatives(clause, negatives)
         instances = compute_inclusion_instances(
             clause, self.schema, self.include_subset_inds
         )
@@ -71,13 +96,10 @@ class NegativeReducer:
             pivot = instances[prefix_end]
             connecting = head_connecting_instances(pivot, instances, head_variables)
             kept: List[InclusionInstance] = []
-            for instance in connecting:
-                if instance not in kept:
-                    kept.append(instance)
-            if pivot not in kept:
-                kept.append(pivot)
-            for instance in instances[:prefix_end]:
-                if instance not in kept:
+            seen: Set[InclusionInstance] = set()
+            for instance in (*connecting, pivot, *instances[:prefix_end]):
+                if instance not in seen:
+                    seen.add(instance)
                     kept.append(instance)
             if self.ensure_safe:
                 kept = self._repair_safety(clause, kept, instances)
@@ -87,6 +109,18 @@ class NegativeReducer:
         return self._clause_from_instances(clause, instances)
 
     # ------------------------------------------------------------------ #
+    def _covered_negatives(
+        self, clause: HornClause, negatives: Sequence[Example]
+    ) -> int:
+        """Number of negatives covered — one batched probe (or the Python loop)."""
+        if self.batch is None:
+            return sum(
+                1
+                for e in negatives
+                if self.coverage.covers(clause, e, use_cache=False)
+            )
+        return self.batch.covered_masks_batch([clause], negatives)[0].bit_count()
+
     def _first_sufficient_prefix(
         self,
         clause: HornClause,
@@ -99,29 +133,59 @@ class NegativeReducer:
         Returns the smallest ``i`` such that the clause built from instances
         ``0..i`` covers no more negatives than the full clause, or None when
         no prefix qualifies.  Because longer prefixes are more specific, the
-        covered-negatives count is non-increasing in ``i``, so the boundary is
-        located by binary search (O(log n) coverage sweeps instead of O(n)).
+        covered-negatives count is non-increasing in ``i``, so the boundary
+        is located by section search: each round probes up to ``probe_width``
+        interior points — every probe a single batched evaluation over the
+        negatives — and shrinks the bracket around the boundary.  With width
+        1 this is exactly bisection.
         """
-        def covered_by_prefix(index: int) -> int:
-            prefix_clause = self._clause_from_instances(clause, instances[: index + 1])
-            if not prefix_clause.body:
-                return len(negatives) + 1
-            return sum(
-                1
-                for e in negatives
-                if self.coverage.covers(prefix_clause, e, use_cache=False)
-            )
+        counts: Dict[int, int] = {}
+
+        def probe(indices: Sequence[int]) -> None:
+            pending: List[int] = []
+            prefix_clauses: List[HornClause] = []
+            for index in dict.fromkeys(indices):
+                if index in counts:
+                    continue
+                prefix_clause = self._clause_from_instances(
+                    clause, instances[: index + 1]
+                )
+                if not prefix_clause.body:
+                    counts[index] = len(negatives) + 1
+                    continue
+                pending.append(index)
+                prefix_clauses.append(prefix_clause)
+            if not pending:
+                return
+            if self.batch is None:
+                for index, prefix_clause in zip(pending, prefix_clauses):
+                    counts[index] = sum(
+                        1
+                        for e in negatives
+                        if self.coverage.covers(prefix_clause, e, use_cache=False)
+                    )
+            else:
+                masks = self.batch.covered_masks_batch(prefix_clauses, negatives)
+                for index, mask in zip(pending, masks):
+                    counts[index] = mask.bit_count()
 
         last = len(instances) - 1
-        if covered_by_prefix(last) > target_count:
+        probe([last])
+        if counts[last] > target_count:
             return None
         low, high = 0, last
         while low < high:
-            middle = (low + high) // 2
-            if covered_by_prefix(middle) <= target_count:
-                high = middle
-            else:
-                low = middle + 1
+            width = high - low
+            sections = min(self.probe_width, width)
+            points = sorted(
+                {low + (width * (j + 1)) // (sections + 1) for j in range(sections)}
+            )
+            probe(points)
+            for point in points:
+                if counts[point] <= target_count:
+                    high = min(high, point)
+                else:
+                    low = max(low, point + 1)
         return low
 
     def _clause_from_instances(
@@ -163,13 +227,15 @@ class NegativeReducer:
         if not missing:
             return kept
         repaired = list(kept)
+        present: Set[InclusionInstance] = set(repaired)
         for instance in all_instances:
             if not missing:
                 break
-            if instance in repaired:
+            if instance in present:
                 continue
             provided = instance.variables() & missing
             if provided:
                 repaired.append(instance)
+                present.add(instance)
                 missing -= provided
         return repaired

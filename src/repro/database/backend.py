@@ -119,6 +119,13 @@ class Backend(Protocol):
     name: str
     supports_compiled_queries: bool
     supports_saturation_queries: bool
+    #: True when the backend tolerates reads from multiple threads at once
+    #: (each read on its own connection, or no connections at all).  The
+    #: learners consult this before overlapping phases — e.g. prefetching
+    #: saturation materialization on a worker thread while the main thread
+    #: keeps querying.  The plain single-connection SQLite backend is NOT
+    #: concurrent-read-safe; the memory, pooled, and sharded backends are.
+    supports_concurrent_reads: bool
 
     def make_relation(self, schema: RelationSchema) -> RelationBackend:
         """Create the (empty) store for one relation of the instance."""
@@ -148,6 +155,7 @@ class MemoryBackend:
     name = "memory"
     supports_compiled_queries = False
     supports_saturation_queries = True
+    supports_concurrent_reads = True
 
     def __init__(self) -> None:
         self._relations: Dict[str, "RelationBackend"] = {}

@@ -481,6 +481,10 @@ class SQLiteBackend:
     name = "sqlite"
     supports_compiled_queries = True
     supports_saturation_queries = True
+    # One shared connection: concurrent readers would interleave statements
+    # on it (and a non-serialized SQLite build pins it to one thread), so
+    # phase-overlap machinery must not read this backend from worker threads.
+    supports_concurrent_reads = False
 
     def __init__(self, connection: Optional[sqlite3.Connection] = None):
         if connection is None:
@@ -953,6 +957,9 @@ class PooledSQLiteBackend(SQLiteBackend):
     """
 
     name = "sqlite-pooled"
+    # Reads fan out over per-worker snapshot connections, so concurrent
+    # readers never share a cursor.
+    supports_concurrent_reads = True
 
     def __init__(
         self,

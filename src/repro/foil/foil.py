@@ -236,6 +236,7 @@ class FoilLearner(EvaluationKnobs):
         covering = CoveringLearner(
             clause_learner,
             coverage_fn=coverage.covered_examples,
+            coverage_mask_fn=coverage.covered_mask,
             precision_fn=lambda clause, pos, neg: precision(
                 len(coverage.covered_examples(clause, pos)),
                 len(coverage.covered_examples(clause, neg)),

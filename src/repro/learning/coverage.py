@@ -53,20 +53,59 @@ from ..obs import registry as obs_registry
 _ENGINE_SEQ = itertools.count(1)
 
 
-class CoverageResult:
-    """Counts of covered positive and negative examples for one clause."""
+def examples_mask(covered: Iterable[Example], examples: Sequence[Example]) -> int:
+    """Bitmask of ``examples`` positions present in ``covered``.
 
-    __slots__ = ("positives_covered", "negatives_covered", "covered_positive_examples")
+    Bit ``i`` is set when ``examples[i]`` is covered — coverage vectors are
+    always *positional* in the caller's example order, so masks from the
+    same example list compose with plain int operations (``|``, ``&``,
+    ``bit_count``) instead of Python set algebra over ``Example`` objects.
+    """
+    covered_set = set(covered)
+    mask = 0
+    bit = 1
+    for example in examples:
+        if example in covered_set:
+            mask |= bit
+        bit <<= 1
+    return mask
+
+
+def mask_to_examples(mask: int, examples: Sequence[Example]) -> List[Example]:
+    """The examples whose positional bits are set in ``mask``, in order."""
+    return [example for i, example in enumerate(examples) if (mask >> i) & 1]
+
+
+class CoverageResult:
+    """Counts of covered positive and negative examples for one clause.
+
+    When produced by a batched evaluation, ``positive_mask`` /
+    ``negative_mask`` additionally carry the positional coverage bitmasks
+    (bit ``i`` = example ``i`` of the scored list), letting downstream
+    consumers combine clause coverages with int operations.
+    """
+
+    __slots__ = (
+        "positives_covered",
+        "negatives_covered",
+        "covered_positive_examples",
+        "positive_mask",
+        "negative_mask",
+    )
 
     def __init__(
         self,
         positives_covered: int,
         negatives_covered: int,
         covered_positive_examples: Optional[List[Example]] = None,
+        positive_mask: Optional[int] = None,
+        negative_mask: Optional[int] = None,
     ):
         self.positives_covered = positives_covered
         self.negatives_covered = negatives_covered
         self.covered_positive_examples = covered_positive_examples or []
+        self.positive_mask = positive_mask
+        self.negative_mask = negative_mask
 
     def precision(self) -> float:
         """Training precision of the clause: covered positives over all covered."""
@@ -312,6 +351,27 @@ class SubsumptionCoverageEngine:
             return list(
                 pool.map(lambda c: self.covered_examples(c, examples), clause_list)
             )
+
+    def covered_mask(self, clause: HornClause, examples: Sequence[Example]) -> int:
+        """Positional coverage bitmask of ``clause`` over ``examples``.
+
+        Same decision procedure as :meth:`covered_examples` (compiled /
+        cached / Python fallback), packaged as an int whose bit ``i`` is the
+        coverage of ``examples[i]``.
+        """
+        return examples_mask(self.covered_examples(clause, examples), examples)
+
+    def covered_masks_batch(
+        self,
+        clauses: Sequence[HornClause],
+        examples: Sequence[Example],
+        parallelism: int = 1,
+    ) -> List[int]:
+        """Positional coverage bitmasks for N clauses, in input order."""
+        covered_lists = self.covered_examples_batch(
+            clauses, examples, parallelism=parallelism
+        )
+        return [examples_mask(covered, examples) for covered in covered_lists]
 
     def shard_spec(self) -> Optional[Tuple[object, ...]]:
         """Picklable recipe a shard worker rebuilds this engine from.
@@ -584,6 +644,22 @@ class QueryCoverageEngine:
             for covered in covered_sets
         ]
 
+    def covered_mask(self, clause: HornClause, examples: Sequence[Example]) -> int:
+        """Positional coverage bitmask of ``clause`` over ``examples``."""
+        return examples_mask(self.covered_examples(clause, examples), examples)
+
+    def covered_masks_batch(
+        self,
+        clauses: Sequence[HornClause],
+        examples: Sequence[Example],
+        parallelism: int = 1,
+    ) -> List[int]:
+        """Positional coverage bitmasks for N clauses, in input order."""
+        covered_lists = self.covered_examples_batch(
+            clauses, examples, parallelism=parallelism
+        )
+        return [examples_mask(covered, examples) for covered in covered_lists]
+
     # NOTE: deliberately no ``shard_spec`` here.  Query coverage reaches the
     # shard workers through the backend's ``covered_head_tuples_batch``
     # (clause-axis fan-out — a compiled statement costs the same however
@@ -695,19 +771,52 @@ class BatchCoverageEngine:
                 )
         return [self.engine.covered_examples(c, examples) for c in clause_list]
 
+    def covered_masks_batch(
+        self, clauses: Sequence[HornClause], examples: Sequence[Example]
+    ) -> List[int]:
+        """Positional coverage bitmasks for N clauses, in input order.
+
+        Routes through the same sharded/pooled/batched machinery as
+        :meth:`covered_examples_batch`; the per-shard covered subsets are
+        merged into one int per clause (bit ``i`` = example ``i``).
+        """
+        clause_list = list(clauses)
+        sharded = self._sharded_batch(clause_list, examples)
+        if sharded is not None:
+            return [examples_mask(covered, examples) for covered in sharded]
+        masks = getattr(self.engine, "covered_masks_batch", None)
+        if masks is not None:
+            return masks(clause_list, examples, parallelism=self.parallelism)
+        return [
+            examples_mask(covered, examples)
+            for covered in self.covered_examples_batch(clause_list, examples)
+        ]
+
     def evaluate_batch(
         self,
         clauses: Sequence[HornClause],
         positives: Sequence[Example],
         negatives: Sequence[Example],
     ) -> List[CoverageResult]:
-        """One :class:`CoverageResult` per clause, in input order."""
+        """One :class:`CoverageResult` per clause, in input order.
+
+        Scores are merged as positional bitmasks: counting covered examples
+        is one ``int.bit_count()`` per clause instead of building and
+        measuring Python lists of ``Example`` objects, and the masks ride
+        along on the results for downstream int-algebra consumers.
+        """
         clause_list = list(clauses)
-        covered_positives = self.covered_examples_batch(clause_list, positives)
-        covered_negatives = self.covered_examples_batch(clause_list, negatives)
+        positive_masks = self.covered_masks_batch(clause_list, positives)
+        negative_masks = self.covered_masks_batch(clause_list, negatives)
         return [
-            CoverageResult(len(pos), len(neg), pos)
-            for pos, neg in zip(covered_positives, covered_negatives)
+            CoverageResult(
+                pos.bit_count(),
+                neg.bit_count(),
+                mask_to_examples(pos, positives),
+                positive_mask=pos,
+                negative_mask=neg,
+            )
+            for pos, neg in zip(positive_masks, negative_masks)
         ]
 
     def run(self, batch: CoverageBatch) -> List[CoverageResult]:

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Protocol, Sequence
 from ..database.instance import DatabaseInstance
 from ..logic.clauses import HornClause, HornDefinition
 from ..obs import span as obs_span
+from .coverage import examples_mask
 from .examples import Example, ExampleSet
 
 
@@ -78,9 +79,11 @@ class CoveringLearner:
         coverage_fn: Callable[[HornClause, Sequence[Example]], List[Example]],
         precision_fn: Callable[[HornClause, Sequence[Example], Sequence[Example]], float],
         parameters: Optional[CoveringParameters] = None,
+        coverage_mask_fn: Optional[Callable[[HornClause, Sequence[Example]], int]] = None,
     ):
         self.clause_learner = clause_learner
         self.coverage_fn = coverage_fn
+        self.coverage_mask_fn = coverage_mask_fn
         self.precision_fn = precision_fn
         self.parameters = parameters or CoveringParameters()
 
@@ -106,16 +109,27 @@ class CoveringLearner:
             with obs_span(
                 "learn.cover", learner=learner, uncovered=len(uncovered)
             ) as cover_span:
-                covered = self.coverage_fn(clause, uncovered)
-                if len(covered) < max(1, self.parameters.min_positives):
+                # Coverage of the round's clause as a positional bitmask
+                # (bit i = uncovered[i]): counting is one bit_count() and
+                # the uncovered-set update below is bit tests instead of
+                # Python set algebra over Example objects.
+                if self.coverage_mask_fn is not None:
+                    covered_mask = self.coverage_mask_fn(clause, uncovered)
+                else:
+                    covered_mask = examples_mask(
+                        self.coverage_fn(clause, uncovered), uncovered
+                    )
+                covered_count = covered_mask.bit_count()
+                if covered_count < max(1, self.parameters.min_positives):
                     break
                 precision = self.precision_fn(clause, uncovered, negatives)
-                cover_span.set(covered=len(covered))
+                cover_span.set(covered=covered_count)
             if precision < self.parameters.min_precision:
                 # The best clause of this round is too imprecise; covering
                 # cannot improve it, so stop rather than loop forever.
                 break
             definition.add(clause)
-            covered_set = set(covered)
-            uncovered = [e for e in uncovered if e not in covered_set]
+            uncovered = [
+                e for i, e in enumerate(uncovered) if not (covered_mask >> i) & 1
+            ]
         return definition

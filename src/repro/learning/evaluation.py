@@ -80,6 +80,25 @@ def evaluate_definition(
     An empty definition covers nothing (precision 0, recall 0).
     """
     engine = engine or QueryCoverageEngine(instance)
+    clauses = list(definition)
+    batch_masks = getattr(engine, "covered_masks_batch", None)
+    if clauses and batch_masks is not None:
+        # Batched path: one masks call per example list; a definition covers
+        # an example when ANY clause does, which is the OR of the per-clause
+        # positional bitmasks — counting is a bit_count(), not a nested
+        # any()-over-clauses Python loop per example.
+        def covered_count(examples: Sequence[Example]) -> int:
+            if not examples:
+                return 0
+            union = 0
+            for mask in batch_masks(clauses, examples):
+                union |= mask
+            return union.bit_count()
+
+        true_positives = covered_count(test_examples.positives)
+        false_negatives = len(test_examples.positives) - true_positives
+        false_positives = covered_count(test_examples.negatives)
+        return EvaluationResult(true_positives, false_positives, false_negatives)
     true_positives = 0
     false_negatives = 0
     for example in test_examples.positives:

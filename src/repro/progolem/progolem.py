@@ -28,6 +28,7 @@ from ..learning.coverage import BatchCoverageEngine, SubsumptionCoverageEngine
 from ..learning.covering import CoveringLearner, CoveringParameters
 from ..learning.knobs import EvaluationKnobs
 from ..learning.examples import Example, ExampleSet
+from ..learning.prefetch import SaturationPrefetcher, backend_supports_prefetch
 from ..logic.clauses import HornClause, HornDefinition
 from ..logic.minimize import minimize_clause
 from ..obs import span as obs_span
@@ -43,6 +44,13 @@ class ProGolemParameters:
     identical for every value.  ``max_seconds`` is the covering loop's soft
     deadline: when it elapses, learning stops and the clauses accepted so
     far are returned.
+
+    ``prefetch`` overlaps the generation's saturation materialization with
+    seed-clause construction (see :mod:`repro.learning.prefetch`): ``None``
+    (default) enables it whenever the instance's backend declares
+    ``supports_concurrent_reads``; ``False`` forces the sequential
+    saturate → seed → score ordering.  Results are identical either way —
+    the knob only moves work between threads.
     """
 
     def __init__(
@@ -57,6 +65,7 @@ class ProGolemParameters:
         seed: int = 0,
         max_seconds: Optional[float] = None,
         parallelism: int = 1,
+        prefetch: Optional[bool] = None,
     ):
         self.sample_size = int(sample_size)
         self.beam_width = int(beam_width)
@@ -68,6 +77,7 @@ class ProGolemParameters:
         self.seed = int(seed)
         self.max_seconds = max_seconds
         self.parallelism = max(1, int(parallelism))
+        self.prefetch = prefetch
 
 
 class ProGolemClauseLearner:
@@ -94,6 +104,16 @@ class ProGolemClauseLearner:
         )
         self._rng = random.Random(parameters.seed)
 
+    def _prefetch_enabled(self, instance: DatabaseInstance) -> bool:
+        """Overlap saturation materialization with seed construction?
+
+        Requires a concurrent-read-safe backend; the ``prefetch`` parameter
+        can force it OFF but never onto an unsafe backend.
+        """
+        if getattr(self.parameters, "prefetch", None) is False:
+            return False
+        return backend_supports_prefetch(instance)
+
     # ------------------------------------------------------------------ #
     # Hooks overridden by Castor
     # ------------------------------------------------------------------ #
@@ -103,8 +123,12 @@ class ProGolemClauseLearner:
         return builder.build(seed)
 
     def generalize(self, clause: HornClause, example: Example) -> HornClause:
-        """One ARMG application (plain ProGolem semantics)."""
-        return armg(clause, example, self.coverage)
+        """One ARMG application (plain ProGolem semantics).
+
+        Blocking-atom prefix probes route through the learner's batch engine
+        so each search round is one batched (poolable/shardable) evaluation.
+        """
+        return armg(clause, example, self.coverage, batch=self.batch)
 
     def reduce(
         self,
@@ -142,17 +166,35 @@ class ProGolemClauseLearner:
             return None
         positives = list(uncovered_positives)
         negatives = list(negatives)
+        generation_examples = [*positives, *negatives]
         # Saturate the whole generation in ONE batch call (sharded backends
         # fan construction across their worker fleet) instead of letting the
-        # beam loop build saturations one example at a time.
+        # beam loop build saturations one example at a time.  On
+        # concurrent-read-safe backends the materialization runs on a
+        # prefetch thread, overlapping with seed-clause construction below.
+        prefetcher: Optional[SaturationPrefetcher] = None
         with obs_span(
             "learn.saturate",
             learner=self.learner_label,
-            examples=len(positives) + len(negatives),
+            examples=len(generation_examples),
         ):
-            self.coverage.prepare([*positives, *negatives])
+            if self._prefetch_enabled(instance):
+                prefetcher = SaturationPrefetcher(
+                    self.coverage, generation_examples
+                ).start()
+            else:
+                self.coverage.prepare(generation_examples)
         seed = positives[0]
         seed_clause = self.build_seed_clause(instance, seed)
+        if prefetcher is not None:
+            # Join before ANY coverage use: the residual wait is what the
+            # overlap did not manage to hide behind seed construction.
+            with obs_span(
+                "learn.prefetch",
+                learner=self.learner_label,
+                examples=len(generation_examples),
+            ):
+                prefetcher.wait()
         if not seed_clause.body:
             return None
 
@@ -273,6 +315,7 @@ class ProGolemLearner(EvaluationKnobs):
         covering = CoveringLearner(
             clause_learner,
             coverage_fn=coverage.covered_examples,
+            coverage_mask_fn=coverage.covered_mask,
             precision_fn=lambda clause, pos, neg: precision(
                 len(coverage.covered_examples(clause, pos)),
                 len(coverage.covered_examples(clause, neg)),
