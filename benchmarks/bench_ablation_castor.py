@@ -11,7 +11,6 @@ from repro.castor.bottom_clause import CastorBottomClauseConfig
 from repro.experiments.harness import run_schema_sweep
 from repro.experiments.reporting import format_paper_table
 from repro.experiments.tables import castor_spec, progolem_spec
-from repro.experiments.harness import LearnerSpec
 
 from .conftest import run_once
 

@@ -180,7 +180,7 @@ def run_workload(
     print(
         f"\n[{name}] variant={variant} tuples={base_instance.total_tuples()} "
         f"examples={len(examples)} clauses={len(clauses)} "
-        f"(mean body length "
+        "(mean body length "
         f"{sum(len(c.body) for c in clauses) / max(1, len(clauses)):.1f})"
     )
 
@@ -240,7 +240,7 @@ def run_workload(
                 )
     if parity:
         print(
-            f"  parity: identical covered sets across "
+            "  parity: identical covered sets across "
             f"{'/'.join(backends)} (sequential and batched)"
         )
 
@@ -271,7 +271,7 @@ def run_workload(
                 )
         if parity:
             print(
-                f"  parity: sqlite-sharded identical at shards=1 and "
+                "  parity: sqlite-sharded identical at shards=1 and "
                 f"shards={shards}"
             )
     if "sqlite-sharded" in backends:

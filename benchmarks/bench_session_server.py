@@ -427,12 +427,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if server_report["reloads_full"][0] != 1:
             failures.append(
-                f"first client run should ship exactly one payload, shipped "
+                "first client run should ship exactly one payload, shipped "
                 f"{server_report['reloads_full'][0]}"
             )
         if any(n != 0 for n in server_report["reloads_full"][1:]):
             failures.append(
-                f"warm client runs shipped payloads: "
+                "warm client runs shipped payloads: "
                 f"{server_report['reloads_full'][1:]} (expected all 0)"
             )
         drain = server_report["drain"]
@@ -451,7 +451,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         warm_runs = server_report["run_seconds"][1:]
         print(
-            f"server mode (auth on): first run "
+            "server mode (auth on): first run "
             f"{server_report['run_seconds'][0]:.2f}s, "
             f"warm runs {warm_runs}, payload ships "
             f"{server_report['reloads_full']}"

@@ -219,7 +219,7 @@ def run_workload(
             )
     if parity:
         print(
-            f"  parity: identical bottom clauses across "
+            "  parity: identical bottom clauses across "
             f"{'/'.join(backends)} x compiled/python lookups"
         )
 
@@ -332,7 +332,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if uwcse_speedup is not None and uwcse_speedup < 1.0:
         warned = True
         print(
-            f"\nWARN: parity holds but compiled saturation was only "
+            "\nWARN: parity holds but compiled saturation was only "
             f"{uwcse_speedup:.2f}x the python path on UW-CSE (target: > 1x)"
         )
     index_speedup = records[0]["speedups"].get("memory_index_vs_relation_scan")

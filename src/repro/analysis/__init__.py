@@ -1,0 +1,29 @@
+"""Domain-aware static analysis: the codebase's invariants, machine-checked.
+
+``python -m repro.analysis [--rule ID] [--format json|text] [paths]`` runs
+the REP001–REP006 battery (see :mod:`repro.analysis.rules`) over the given
+paths and exits non-zero on any unsuppressed finding.  The companion
+ratchet (``python -m repro.analysis.ratchet``) keeps mypy error counts
+monotonically non-increasing per module.
+
+See ``docs/static-analysis.md`` for the rule catalog, the suppression
+contract, and how to add a rule.
+"""
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    Finding,
+    ModuleContext,
+    Rule,
+    run_analysis,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "default_rules",
+    "run_analysis",
+]

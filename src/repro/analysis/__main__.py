@@ -1,0 +1,87 @@
+"""CLI: ``python -m repro.analysis [--rule ID] [--format json|text] [paths]``.
+
+Exit status: 0 when every finding is suppressed (with a reason), 1
+otherwise, 2 on usage errors.  ``--format json`` emits the stable v1
+schema consumed by the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.engine import run_analysis
+from repro.analysis.rules import default_rules
+
+DEFAULT_PATHS = ("src/repro", "tests", "benchmarks")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the REP001-REP006 domain rule battery.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to scan (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule REP004)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the JSON report to PATH (any --format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    battery = default_rules()
+    if args.list_rules:
+        for rule in battery:
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+
+    if args.rules:
+        known = {rule.rule_id for rule in battery}
+        unknown = [r for r in args.rules if r not in known]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+        battery = [rule for rule in battery if rule.rule_id in args.rules]
+
+    # Suppression hygiene (REP000) needs the full battery's ids to judge
+    # "unused"; a partial run skips it so filtering never manufactures
+    # false unused-suppression findings.
+    result = run_analysis(
+        args.paths, battery, check_suppression_hygiene=args.rules is None
+    )
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json() + "\n")
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

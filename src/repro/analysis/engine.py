@@ -1,0 +1,332 @@
+"""Core of the domain-aware static analyzer.
+
+The engine is deliberately tiny and stdlib-only: it loads Python sources,
+parses them once, hands each module to every registered rule, and collects
+structured :class:`Finding`\\ s.  Rules are AST visitors with two optional
+hooks — per-module (:meth:`Rule.check_module`) and whole-run
+(:meth:`Rule.finalize`) for cross-file properties such as lock-order
+cycles or package layout.
+
+Suppressions are inline and **must carry a reason**::
+
+    something_flagged()  # repro: noqa[REP001] -- dumps-only fingerprint
+
+A ``# repro: noqa[...]`` comment with no ``-- reason`` text, an unknown
+rule id, or one that suppresses nothing is itself reported under the meta
+rule id ``REP000`` — the suppression budget stays honest because stale or
+unexplained escapes cannot accumulate silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Meta rule id used for malformed / unused suppressions.
+META_RULE = "REP000"
+
+#: Matches a ``repro: noqa`` comment — bare ``[REP001]`` or the
+#: comma-separated ``[REP001,REP004]`` form, with an optional reason after
+#: a double dash.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<ids>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    reason: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}{tag} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: Optional[str]
+    used: bool = False
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses set ``rule_id``/``name``/``description`` and override
+    :meth:`check_module` (per file, called with a parsed
+    :class:`ModuleContext`) and/or :meth:`finalize` (once per run, after
+    every module has been seen — the hook for cross-file properties).
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, modules: Sequence[ModuleContext]) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+        )
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """Extract ``# repro: noqa[...]`` comments, keyed by line number.
+
+    Uses the tokenizer (not a per-line regex) so string literals that merely
+    *mention* the syntax are never treated as suppressions.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            ids = tuple(
+                part.strip() for part in match.group("ids").split(",") if part.strip()
+            )
+            suppressions[token.start[0]] = Suppression(
+                line=token.start[0], rule_ids=ids, reason=match.group("reason")
+            )
+    except tokenize.TokenError:
+        pass  # unparsable tail; the ast.parse error is reported elsewhere
+    return suppressions
+
+
+def load_module(path: Path, display_path: str) -> Optional[ModuleContext]:
+    """Parse one file into a :class:`ModuleContext` (None if unreadable)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    return ModuleContext(
+        path=path,
+        display_path=display_path,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Tuple[Path, str]]:
+    """Yield ``(path, display_path)`` for every ``.py`` under ``paths``.
+
+    Display paths are normalized to ``/`` separators and kept relative to
+    the invocation (stable across machines, usable in CI artifacts).
+    """
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate, candidate.as_posix()
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding]
+    paths: List[str]
+    rule_ids: List[str]
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "rules": self.rule_ids,
+            "paths": self.paths,
+            "findings": [f.as_dict() for f in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "unsuppressed": len(self.unsuppressed),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.unsuppressed)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{len(self.paths)} file(s) scanned"
+        )
+        return "\n".join(lines)
+
+
+def _apply_suppressions(
+    findings: List[Finding], modules: Dict[str, ModuleContext]
+) -> List[Finding]:
+    """Mark findings covered by a same-line justified noqa as suppressed."""
+    out: List[Finding] = []
+    for f in findings:
+        ctx = modules.get(f.path)
+        suppression = ctx.suppressions.get(f.line) if ctx is not None else None
+        if (
+            suppression is not None
+            and f.rule in suppression.rule_ids
+            and suppression.reason
+        ):
+            suppression.used = True
+            out.append(
+                Finding(
+                    rule=f.rule,
+                    path=f.path,
+                    line=f.line,
+                    message=f.message,
+                    suppressed=True,
+                    reason=suppression.reason,
+                )
+            )
+        else:
+            out.append(f)
+    return out
+
+
+def _suppression_hygiene(
+    modules: Dict[str, ModuleContext], known_rule_ids: Sequence[str]
+) -> Iterator[Finding]:
+    """REP000: reason-less, unknown-id, or unused suppressions."""
+    known = set(known_rule_ids) | {META_RULE}
+    for ctx in modules.values():
+        for suppression in ctx.suppressions.values():
+            if not suppression.reason:
+                yield Finding(
+                    rule=META_RULE,
+                    path=ctx.display_path,
+                    line=suppression.line,
+                    message=(
+                        "suppression must carry a reason: "
+                        "'# repro: noqa[RULE-ID] -- why this is safe'"
+                    ),
+                )
+                continue
+            unknown = [r for r in suppression.rule_ids if r not in known]
+            if unknown or not suppression.rule_ids:
+                yield Finding(
+                    rule=META_RULE,
+                    path=ctx.display_path,
+                    line=suppression.line,
+                    message=f"suppression names unknown rule id(s): {unknown or '[]'}",
+                )
+                continue
+            if not suppression.used:
+                yield Finding(
+                    rule=META_RULE,
+                    path=ctx.display_path,
+                    line=suppression.line,
+                    message=(
+                        "unused suppression for "
+                        f"{', '.join(suppression.rule_ids)}: nothing fired here"
+                    ),
+                )
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    check_suppression_hygiene: bool = True,
+) -> AnalysisResult:
+    """Run ``rules`` over every Python file under ``paths``."""
+    modules: Dict[str, ModuleContext] = {}
+    scanned: List[str] = []
+    for path, display in iter_python_files(paths):
+        ctx = load_module(path, display)
+        if ctx is None:
+            continue
+        modules[display] = ctx
+        scanned.append(display)
+
+    findings: List[Finding] = []
+    module_list = list(modules.values())
+    for rule in rules:
+        for ctx in module_list:
+            findings.extend(rule.check_module(ctx))
+        findings.extend(rule.finalize(module_list))
+
+    findings = _apply_suppressions(findings, modules)
+    if check_suppression_hygiene:
+        findings.extend(_suppression_hygiene(modules, [r.rule_id for r in rules]))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return AnalysisResult(
+        findings=findings,
+        paths=scanned,
+        rule_ids=[r.rule_id for r in rules],
+    )

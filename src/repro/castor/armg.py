@@ -14,7 +14,7 @@ single composed literal would.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 from ..database.constraints import InclusionDependency
 from ..database.schema import Schema
@@ -22,7 +22,6 @@ from ..learning.coverage import SubsumptionCoverageEngine
 from ..learning.examples import Example
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause
-from ..logic.terms import Term
 from ..progolem.armg import armg
 from .inclusion_instances import _terms_at
 

@@ -51,7 +51,7 @@ class InclusionInstance:
         return hash(frozenset(self.literals))
 
     def __repr__(self) -> str:
-        return f"InclusionInstance({[str(l) for l in self.literals]})"
+        return f"InclusionInstance({[str(lit) for lit in self.literals]})"
 
 
 def _terms_at(schema: Schema, literal: Atom, attributes: Sequence[str]) -> Optional[Tuple[Term, ...]]:
@@ -170,10 +170,6 @@ def head_connecting_instances(
         if instance.variables() & reached_vars:
             parents[index] = None
             frontier.append(index)
-    target_index = None
-    for index, instance in enumerate(order):
-        if instance is target_instance:
-            target_index = index
     visited = set(frontier)
     connecting: List[int] = []
     found_path: Optional[List[int]] = None

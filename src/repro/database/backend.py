@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import warnings
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -166,7 +167,7 @@ class MemoryBackend:
         # on an instance can notice mutations.
         self.data_version = 0
 
-    def bind_instance_schema(self, schema) -> None:
+    def bind_instance_schema(self, schema: Any) -> None:
         """Hook called by :class:`~repro.database.instance.DatabaseInstance`
         once its relations exist.  The backend is stateful now (the
         cross-relation index), so a second instance must not share it —

@@ -19,7 +19,6 @@ from typing import (
     Callable,
     ContextManager,
     Dict,
-    FrozenSet,
     Iterable,
     Iterator,
     List,

@@ -20,7 +20,7 @@ to the generic path transparently.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause, HornDefinition

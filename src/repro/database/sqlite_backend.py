@@ -693,10 +693,10 @@ class SQLiteBackend:
             if isinstance(term, Constant):
                 try:
                     head_params.append(_storable(term.value))
-                except BackendValueError:
+                except BackendValueError as exc:
                     raise CompilationNotSupported(
                         f"unstorable head constant {term.value!r}"
-                    )
+                    ) from exc
                 select_parts.append("?")
                 continue
             column = compiled.variable_columns.get(term)

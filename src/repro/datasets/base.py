@@ -17,7 +17,7 @@ instance, and the (schema-independent) example set.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema

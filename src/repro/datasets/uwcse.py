@@ -27,7 +27,7 @@ from ..database.constraints import FunctionalDependency, InclusionDependency
 from ..database.instance import DatabaseInstance
 from ..database.schema import RelationSchema, Schema
 from ..learning.examples import ExampleSet, sample_closed_world_negatives
-from ..transform.transformation import SchemaTransformation, identity_transformation
+from ..transform.transformation import SchemaTransformation
 from ..transform.decomposition import ComposeOperation
 from .base import DatasetBundle, SchemaVariant, base_variant
 

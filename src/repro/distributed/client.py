@@ -28,7 +28,7 @@ import hashlib
 import itertools
 import os
 import threading
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..database.backend import warn_once
 from ..obs import registry as obs_registry, tracer as obs_tracer
@@ -54,7 +54,7 @@ _CLIENT_SEQ = itertools.count(1)
 class ServerError(RuntimeError):
     """An exception raised inside the server (deterministic; not retried)."""
 
-    def __init__(self, kind: str, message: str, remote_traceback: str):
+    def __init__(self, kind: str, message: str, remote_traceback: str) -> None:
         super().__init__(f"evaluation server raised {kind}: {message}")
         self.kind = kind
         self.remote_traceback = remote_traceback
@@ -105,7 +105,7 @@ class ServiceClient:
         token: Optional[str] = None,
         request_timeout: Optional[float] = None,
         client_name: Optional[str] = None,
-    ):
+    ) -> None:
         self.address = str(address)
         self._transport = connect_transport(
             self.address,
@@ -157,7 +157,7 @@ class ServiceClient:
                     )
                 try:
                     self._transport.send(message)
-                    response = self._transport.recv()
+                    response = self._transport.recv()  # repro: noqa[REP004] -- the connection lock must pair each send with its reply (one stream, strict ordering); request_timeout bounds the wait and retires the connection on expiry
                 except TransportError:
                     # Timeout or disconnect mid-request: a late reply would
                     # be misattributed to the next request, so the stream is
@@ -214,7 +214,7 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -235,9 +235,13 @@ class RemoteEvaluationService:
     """
 
     def __init__(
-        self, client: ServiceClient, payload_fn, token_fn, handle=None,
-        delta_fn=None,
-    ):
+        self,
+        client: ServiceClient,
+        payload_fn: Callable[[], object],
+        token_fn: Callable[[], object],
+        handle: Optional[str] = None,
+        delta_fn: Optional[Callable[[object], object]] = None,
+    ) -> None:
         self.client = client
         self._payload_fn = payload_fn
         self._token_fn = token_fn
@@ -378,7 +382,9 @@ class RemoteEvaluationService:
                     pass  # best-effort hygiene; LRU eviction is the backstop
             return handle
 
-    def _batch_request(self, kind: str, payload_for) -> object:
+    def _batch_request(
+        self, kind: str, payload_for: Callable[[str, Optional[str]], Dict[str, Any]]
+    ) -> object:
         """One registered batch round-trip, recovering from handle loss.
 
         The server may evict an idle handle (LRU past ``--max-instances``),
@@ -411,10 +417,10 @@ class RemoteEvaluationService:
                     # full payload.
                     warn_once(
                         f"instance handle {handle!r} keeps being evicted "
-                        f"or re-loaded on the server; every recovery "
-                        f"re-ships the full payload — raise the server's "
-                        f"--max-instances (or reduce the number of "
-                        f"distinct datasets sharing it)"
+                        "or re-loaded on the server; every recovery "
+                        "re-ships the full payload — raise the server's "
+                        "--max-instances (or reduce the number of "
+                        "distinct datasets sharing it)"
                     )
             handle = self._ensure_registered()
             return self.client.request(
@@ -536,14 +542,14 @@ class RemoteBackend(ShardedSQLiteBackend):
 
     def __init__(
         self,
-        connection=None,
+        connection: Any = None,
         pool_size: Optional[int] = None,
         address: Optional[str] = None,
         client: Optional[ServiceClient] = None,
         handle: Optional[str] = None,
         token: Optional[str] = None,
         request_timeout: Optional[float] = None,
-    ):
+    ) -> None:
         super().__init__(connection, pool_size)
         self._address = address
         self._client = client
@@ -579,7 +585,12 @@ class RemoteBackend(ShardedSQLiteBackend):
         if request_timeout is not None:
             self._request_timeout = float(request_timeout)
 
-    def configure_sharding(self, shards=None, strategy=None, transport=None) -> None:
+    def configure_sharding(
+        self,
+        shards: Optional[int] = None,
+        strategy: Optional[str] = None,
+        transport: Optional[str] = None,
+    ) -> None:
         """The worker fleet lives on the server; its topology is fixed there."""
         if shards is None and strategy is None and transport is None:
             return

@@ -270,7 +270,7 @@ AUTH_PROOF_BYTES = len(_AUTH_MAGIC) + hashlib.sha256().digest_size
 
 def auth_proof(secret: str) -> bytes:
     """The fixed-size preamble a connecting peer sends to prove the secret."""
-    return _AUTH_MAGIC + hashlib.sha256(secret.encode("utf-8")).digest()
+    return _AUTH_MAGIC + hashlib.sha256(secret.encode()).digest()
 
 
 def send_auth_proof(sock: socket.socket, secret: str) -> None:

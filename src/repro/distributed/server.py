@@ -80,7 +80,7 @@ def _advance_payload(payload: InstancePayload, delta: Delta) -> InstancePayload:
         if relation not in rows:
             raise DeltaMismatchError(
                 f"delta touches unknown relation {relation!r}; "
-                f"re-register with a full payload"
+                "re-register with a full payload"
             )
         target = touched.get(relation)
         if target is None:
@@ -555,12 +555,14 @@ class ServiceServer:
             # way: re-register (which creates a fresh ServedInstance).
             raise UnknownHandleError(
                 f"unknown instance handle {served.handle!r}; it was "
-                f"unregistered or evicted while a request was in flight"
+                "unregistered or evicted while a request was in flight"
             )
         if served.payload is None:
-            raise RuntimeError(
+            # Typed like the registry miss so clients recover identically:
+            # the register probe reports needs_payload and a load follows.
+            raise UnknownHandleError(
                 f"instance handle {served.handle!r} was registered but no "
-                f"payload has been loaded yet"
+                "payload has been loaded yet; re-register and load"
             )
         if served.service is None:
             served.service = EvaluationService(
@@ -705,14 +707,14 @@ class ServiceServer:
             if served.payload is None:
                 raise UnknownHandleError(
                     f"instance handle {handle!r} has no payload to advance; "
-                    f"re-register"
+                    "re-register"
                 )
             new_payload = _advance_payload(served.payload, delta)
             computed = payload_content_hash(new_payload)
             if computed != new_hash:
                 raise DeltaMismatchError(
                     f"delta on {handle!r} does not reproduce the claimed "
-                    f"content hash; re-register with a full payload"
+                    "content hash; re-register with a full payload"
                 )
             served.payload = new_payload
             served.content_hash = new_hash
@@ -745,7 +747,7 @@ class ServiceServer:
         if content_hash is not None and served.content_hash != content_hash:
             raise UnknownHandleError(
                 f"unknown instance handle version on {served.handle!r}: the "
-                f"server holds a different data version; re-register"
+                "server holds a different data version; re-register"
             )
 
     def handle_coverage_batch(self, payload, ctx) -> List[List[int]]:
@@ -922,7 +924,7 @@ class ServiceServer:
                 transport,
                 "ProtocolVersionError",
                 f"not a v{WIRE_VERSION} envelope frame ({exc}); "
-                f"pickle-era clients must upgrade to the JSON wire format",
+                "pickle-era clients must upgrade to the JSON wire format",
             )
             return None
         except TransportError:
@@ -1042,7 +1044,10 @@ class ServiceServer:
                             with tracer.span(f"server.{kind}", client=client_id):
                                 with self._h_request_seconds.time():
                                     if handler is None:
-                                        raise ValueError(
+                                        # A wire-format violation, not a
+                                        # server bug: the envelope named a
+                                        # kind outside the allowlist table.
+                                        raise WireFormatError(
                                             f"unknown request kind {kind!r}"
                                         )
                                     if (

@@ -146,7 +146,7 @@ class WorkerHandle:
             if self.transport is None:
                 raise TransportError(f"shard {self.index} has no live transport")
             self.transport.send(message)
-            reply = self.transport.recv()
+            reply = self.transport.recv()  # repro: noqa[REP004] -- per-worker handle lock serializes send/recv pairs on one pipe/socket; a dead worker is detected by the coordinator's respawn-and-retry path, not by unblocking here
         status, payload = reply[0], reply[1]
         if len(reply) > 2 and isinstance(reply[2], dict):
             records = reply[2].get("records")

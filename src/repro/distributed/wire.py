@@ -495,7 +495,7 @@ def dumps(message: Tuple[str, Any]) -> bytes:
         envelope = {"v": WIRE_VERSION, "kind": kind, "payload": encode_value(payload)}
         if trace:
             envelope["trace"] = trace
-        return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+        return json.dumps(envelope, separators=(",", ":")).encode()
     except RecursionError as exc:  # pragma: no cover - MAX_WIRE_DEPTH fires first
         raise WireFormatError("payload nests too deeply to encode") from exc
 
@@ -513,7 +513,7 @@ def loads(data: bytes) -> Tuple[str, Any]:
     three-element tuple when the peer attached a trace context.
     """
     try:
-        envelope = json.loads(data.decode("utf-8"))
+        envelope = json.loads(data.decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireFormatError(f"frame body is not valid JSON: {exc}") from exc
     except RecursionError as exc:

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence
 from ..castor.castor import CastorLearner, CastorParameters
 from ..castor.bottom_clause import CastorBottomClauseConfig
 from ..datasets import hiv, imdb, uwcse
-from ..datasets.base import DatasetBundle
 from ..querybased.a2 import A2Learner, A2Parameters
 from ..querybased.oracle import HornOracle
 from ..querybased.random_definitions import RandomDefinitionConfig, RandomDefinitionGenerator

@@ -102,7 +102,7 @@ def _reject_knobs_with_session(**knobs: object) -> None:
     if set_knobs:
         raise ValueError(
             f"{sorted(set_knobs)} cannot be combined with session=; "
-            f"configure them on the session's SessionConfig instead"
+            "configure them on the session's SessionConfig instead"
         )
 
 

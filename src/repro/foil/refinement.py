@@ -17,7 +17,7 @@ systems impose.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema

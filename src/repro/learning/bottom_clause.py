@@ -21,9 +21,11 @@ coverage engine θ-subsumes candidate clauses against (Section 7.5.3).
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..database.instance import DatabaseInstance
+from ..obs import registry as obs_registry
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause
 from ..logic.terms import Constant, Term, Variable
@@ -420,6 +422,11 @@ class SaturationBatch:
         return f"SaturationBatch({len(self.examples)} examples, {kind})"
 
 
+#: Per-engine label for registry series: each BatchSaturationEngine gets its
+#: own ``saturation.sharded_batches`` series so a fresh engine reads zero.
+_SATURATION_ENGINE_SEQ = itertools.count(1)
+
+
 class BatchSaturationEngine:
     """Materialize bottom clauses / saturations for whole example sets.
 
@@ -441,7 +448,15 @@ class BatchSaturationEngine:
     def __init__(self, builder: BottomClauseBuilder, parallelism: int = 1):
         self.builder = builder
         self.parallelism = max(1, int(parallelism))
-        self.sharded_batches = 0
+        # Registry-backed counter (per-engine series so a fresh engine reads
+        # zero); the plain-attribute read below is the stable public surface.
+        self._c_sharded_batches = obs_registry().counter(
+            "saturation.sharded_batches", engine=next(_SATURATION_ENGINE_SEQ)
+        )
+
+    @property
+    def sharded_batches(self) -> int:
+        return self._c_sharded_batches.value
 
     def _sharded_batch(
         self, examples: Sequence[Example], variablize: bool
@@ -466,7 +481,7 @@ class BatchSaturationEngine:
         clauses = service_fn().materialize_saturations(
             spec, examples, variablize=variablize, parallelism=self.parallelism
         )
-        self.sharded_batches += 1
+        self._c_sharded_batches.inc()
         return clauses
 
     def build_batch(

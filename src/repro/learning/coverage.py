@@ -31,11 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..database.delta import Delta
 from ..database.instance import DatabaseInstance
 from ..database.query import QueryEvaluator
-from ..database.sqlite_backend import (
-    BackendValueError,
-    CompilationNotSupported,
-    SaturationStore,
-)
+from ..database.sqlite_backend import CompilationNotSupported, SaturationStore
 from ..logic.clauses import HornClause
 from ..logic.subsumption import GroundClauseIndex, SubsumptionEngine
 from ..logic.terms import Constant

@@ -12,7 +12,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..database.instance import DatabaseInstance
 from ..logic.clauses import HornDefinition
-from .coverage import QueryCoverageEngine, SubsumptionCoverageEngine
+from .coverage import QueryCoverageEngine
 from .examples import Example, ExampleSet
 
 

@@ -9,11 +9,11 @@ predicate — a union of conjunctive queries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from .atoms import Atom, collect_constants, collect_variables
 from .substitution import Substitution
-from .terms import Constant, Term, Variable
+from .terms import Constant, Variable
 
 
 class HornClause:

@@ -18,7 +18,7 @@ tests, and human-readable experiment configuration.
 from __future__ import annotations
 
 import re
-from typing import List, Tuple, Union
+from typing import List, Union
 
 from .atoms import Atom
 from .clauses import HornClause, HornDefinition

@@ -100,7 +100,7 @@ class _HistogramTimer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self._histogram.observe(time.perf_counter() - self._start)
 
 

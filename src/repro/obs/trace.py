@@ -117,7 +117,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         return None
 
     def set(self, **_attrs: Any) -> None:
@@ -161,7 +161,7 @@ class _Span:
         self._token = _CURRENT.set((self.trace_id, self.span_id))
         return self
 
-    def __exit__(self, exc_type, _exc, _tb) -> None:
+    def __exit__(self, exc_type: "type | None", _exc: object, _tb: object) -> None:
         duration = time.perf_counter() - self._start_perf
         if self._token is not None:
             _CURRENT.reset(self._token)
@@ -197,7 +197,7 @@ class _Activation:
             self._token = _CURRENT.set(self._context)
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         if self._token is not None:
             _CURRENT.reset(self._token)
 
@@ -229,7 +229,7 @@ class Tracer:
             self._records.clear()
 
     # ------------------------------------------------------------- spans
-    def span(self, name: str, **attrs: Any):
+    def span(self, name: str, **attrs: Any) -> "_Span | _NullSpan":
         """A timed span under the current parent (no-op when inactive)."""
         current = _CURRENT.get()
         if not self._enabled and current is None:
@@ -352,7 +352,7 @@ def tracer() -> Tracer:
     return _TRACER
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> "_Span | _NullSpan":
     """``with span("learn.saturate", examples=n):`` on the global tracer."""
     return _TRACER.span(name, **attrs)
 

@@ -26,7 +26,7 @@ is exactly the behaviour Figure 3 reports, and Theorem 8.1 formalizes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause, HornDefinition

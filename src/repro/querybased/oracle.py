@@ -18,7 +18,7 @@ Both query counters are exposed so experiments can report query complexity
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..logic.atoms import Atom
 from ..logic.clauses import HornClause, HornDefinition

@@ -17,7 +17,7 @@ decomposition.  This module reproduces that generator:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..database.schema import Schema
 from ..logic.atoms import Atom

@@ -26,7 +26,7 @@ that also owns the engine/store lifecycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Optional
 
 from ..database.backend import (
     backend_names,
@@ -173,7 +173,7 @@ class SessionConfig:
     def _validate_service_address(self) -> None:
         if self.request_timeout is not None and self.request_timeout <= 0:
             raise ValueError(
-                f"request_timeout must be > 0 seconds, got "
+                "request_timeout must be > 0 seconds, got "
                 f"{self.request_timeout!r}"
             )
         if self.service_address is None:
@@ -185,8 +185,8 @@ class SessionConfig:
                     # Note: never echo the token value into the message.
                     raise ValueError(
                         f"{knob}= configures the connection to a persistent "
-                        f"evaluation server; set service_address='HOST:PORT' "
-                        f"as well"
+                        "evaluation server; set service_address='HOST:PORT' "
+                        "as well"
                     )
             if self.backend == "sqlite-remote":
                 raise ValueError(
@@ -201,15 +201,15 @@ class SessionConfig:
             parse_address(self.service_address)
         except ValueError as exc:
             raise ValueError(
-                f"service_address must be 'HOST:PORT', got "
+                "service_address must be 'HOST:PORT', got "
                 f"{self.service_address!r}"
             ) from exc
         if self.backend not in (None, "sqlite-remote"):
             raise ValueError(
-                f"service_address= evaluates on the persistent server's "
+                "service_address= evaluates on the persistent server's "
                 f"warm workers; backend={self.backend!r} would spawn a "
-                f"local fleet instead — drop backend= (or use "
-                f"'sqlite-remote')"
+                "local fleet instead — drop backend= (or use "
+                "'sqlite-remote')"
             )
         for knob, value in (
             ("shards", self.shards),
@@ -219,8 +219,8 @@ class SessionConfig:
             if value is not None:
                 raise ValueError(
                     f"{knob}={value!r} is fixed when the persistent server "
-                    f"starts (see `python -m repro.distributed.service "
-                    f"--serve --help`); it cannot be set per session"
+                    "starts (see `python -m repro.distributed.service "
+                    "--serve --help`); it cannot be set per session"
                 )
 
     def _validate_backend_combos(self) -> None:
@@ -231,7 +231,7 @@ class SessionConfig:
             raise ValueError(
                 f"shards={self.shards} needs a sharded evaluation service, "
                 f"but backend {backend!r} has none; use "
-                f"backend='sqlite-sharded' (see docs/distributed.md)"
+                "backend='sqlite-sharded' (see docs/distributed.md)"
             )
         if (
             self.parallelism is not None
@@ -240,9 +240,9 @@ class SessionConfig:
         ):
             raise ValueError(
                 f"parallelism={self.parallelism} cannot fan out on the "
-                f"single-connection 'sqlite' backend (every statement "
-                f"serializes on one connection); use 'sqlite-pooled' "
-                f"(snapshot read pool), 'sqlite-sharded', or 'memory'"
+                "single-connection 'sqlite' backend (every statement "
+                "serializes on one connection); use 'sqlite-pooled' "
+                "(snapshot read pool), 'sqlite-sharded', or 'memory'"
             )
         if self.sharding_strategy is not None:
             from ..distributed.sharding import SHARDING_STRATEGIES
@@ -256,7 +256,7 @@ class SessionConfig:
                 raise ValueError(
                     f"sharding_strategy={self.sharding_strategy!r} only "
                     f"applies to sharded backends, not {backend!r}; use "
-                    f"backend='sqlite-sharded'"
+                    "backend='sqlite-sharded'"
                 )
         if self.transport is not None:
             from ..distributed.service import TRANSPORTS
@@ -270,7 +270,7 @@ class SessionConfig:
                 raise ValueError(
                     f"transport={self.transport!r} only applies to sharded "
                     f"backends, not {backend!r}; use "
-                    f"backend='sqlite-sharded'"
+                    "backend='sqlite-sharded'"
                 )
 
     # ------------------------------------------------------------------ #
@@ -287,9 +287,12 @@ class SessionConfig:
     # Normalization (the old _apply_parallelism/_apply_shards, unified)
     # ------------------------------------------------------------------ #
     def apply(
-        self, learner=None, instance=None, saturation_store=None,
-        _session_managed=False,
-    ):
+        self,
+        learner: Any = None,
+        instance: Any = None,
+        saturation_store: Any = None,
+        _session_managed: bool = False,
+    ) -> Any:
         """Push this config onto a learner and/or an instance.
 
         The single normalization path shared by sessions, the experiment
@@ -315,7 +318,7 @@ class SessionConfig:
                 else:
                     warn_once(
                         f"learner {type(learner).__name__} has no "
-                        f"'parallelism' knob; ignoring "
+                        "'parallelism' knob; ignoring "
                         f"parallelism={self.parallelism}"
                     )
             if self.backend == "sqlite-remote":
@@ -352,10 +355,10 @@ class SessionConfig:
                 # while evaluating entirely locally.
                 warn_once(
                     f"service_address={self.service_address!r} has no "
-                    f"effect on a bare context= learner; use "
+                    "effect on a bare context= learner; use "
                     f"LearningSession.connect({self.service_address!r})"
-                    f".learner(...) to evaluate on the persistent server "
-                    f"— this learner will evaluate locally"
+                    ".learner(...) to evaluate on the persistent server "
+                    "— this learner will evaluate locally"
                 )
             if self.shards is not None and instance is None:
                 if hasattr(learner, "shards"):
@@ -374,7 +377,7 @@ class SessionConfig:
                     else:
                         warn_once(
                             f"learner {type(learner).__name__} has no "
-                            f"compiled-subsumption knob; ignoring coverage="
+                            "compiled-subsumption knob; ignoring coverage="
                             f"{self.coverage!r}"
                         )
                 else:
@@ -396,7 +399,7 @@ class SessionConfig:
             self._configure_instance(instance)
         return learner
 
-    def _configure_instance(self, instance) -> None:
+    def _configure_instance(self, instance: Any) -> None:
         """Push the full service topology — shards, strategy, transport —
         onto the instance's backend (warn-once where it has none)."""
         if (
@@ -418,6 +421,6 @@ class SessionConfig:
         if self.sharding_strategy is not None or self.transport is not None:
             warn_once(
                 f"backend {getattr(instance.backend, 'name', '?')!r} has no "
-                f"sharded evaluation service; ignoring sharding_strategy="
+                "sharded evaluation service; ignoring sharding_strategy="
                 f"{self.sharding_strategy!r} / transport={self.transport!r}"
             )

@@ -31,16 +31,20 @@ sessions cannot leak worker processes from aborted runs.
 from __future__ import annotations
 
 import copy
-import pickle
+import pickle  # repro: noqa[REP001] -- dumps-only structural fingerprint for store sharing; bytes never cross a process boundary and nothing is ever unpickled
 import threading
 import weakref
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..database.delta import Delta
 from ..database.instance import DatabaseInstance
 from ..database.sqlite_backend import SaturationStore
 from ..obs import registry as obs_registry, span as obs_span, tracer as obs_tracer
 from .config import SessionConfig, warn_once
+
+if TYPE_CHECKING:  # resolved lazily at runtime; annotations only
+    from ..distributed.client import ServiceClient
+    from ..learning.examples import ExampleSet
 
 
 def _learner_kinds() -> Dict[str, type]:
@@ -83,16 +87,16 @@ class SessionLearner:
     learner, so the wrapper stays invisible to code that inspects it.
     """
 
-    def __init__(self, session: "LearningSession", learner):
+    def __init__(self, session: "LearningSession", learner: Any) -> None:
         self._session = session
         self._learner = learner
 
     @property
-    def wrapped(self):
+    def wrapped(self) -> Any:
         """The underlying learner object."""
         return self._learner
 
-    def learn(self, instance: DatabaseInstance, examples):
+    def learn(self, instance: DatabaseInstance, examples: "ExampleSet") -> Any:
         session = self._session
         prepared = session.prepare(instance)
         # Lazy like the harness path: no SQLite-backed store is ever opened
@@ -107,10 +111,10 @@ class SessionLearner:
             session.presaturate(self._learner, prepared, examples)
         return self._learner.learn(prepared, examples)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._learner, name)
 
-    def __setattr__(self, name: str, value) -> None:
+    def __setattr__(self, name: str, value: Any) -> None:
         # Writes configure the wrapped learner (a wrapper-local attribute
         # would shadow reads while learn() ignored the setting).
         if name in ("_session", "_learner"):
@@ -165,7 +169,9 @@ class _SessionResources:
 class LearningSession:
     """Owner of backend + evaluation-service + saturation-store lifecycle."""
 
-    def __init__(self, config: Optional[SessionConfig] = None, **overrides):
+    def __init__(
+        self, config: Optional[SessionConfig] = None, **overrides: object
+    ) -> None:
         if config is None:
             config = SessionConfig(**overrides)
         elif overrides:
@@ -211,7 +217,7 @@ class LearningSession:
         config: Optional[SessionConfig] = None,
         token: Optional[str] = None,
         request_timeout: Optional[float] = None,
-        **overrides,
+        **overrides: object,
     ) -> "LearningSession":
         """A session evaluating on the persistent server at ``address``.
 
@@ -230,7 +236,7 @@ class LearningSession:
         )
 
     @property
-    def client(self):
+    def client(self) -> "Optional[ServiceClient]":
         """The :class:`~repro.distributed.client.ServiceClient`, if remote."""
         return self._resources.client
 
@@ -276,7 +282,11 @@ class LearningSession:
             self.config.apply(instance=prepared)
             return prepared
 
-    def _invalidate_locked(self, key, entry) -> None:
+    def _invalidate_locked(
+        self,
+        key: int,
+        entry: Tuple[DatabaseInstance, DatabaseInstance, object, Optional[object]],
+    ) -> None:
         """Drop a stale prepared instance: its conversion and its stores
         describe the pre-mutation data."""
         del self._instances[key]
@@ -303,7 +313,9 @@ class LearningSession:
             if close is not None:
                 close()
 
-    def _prepare_uncached(self, instance: DatabaseInstance):
+    def _prepare_uncached(
+        self, instance: DatabaseInstance
+    ) -> Tuple[DatabaseInstance, Optional[object]]:
         """Convert onto the session backend; returns (prepared, owned backend)."""
         client = self._resources.client
         if client is not None:
@@ -328,7 +340,7 @@ class LearningSession:
             return prepared, prepared.backend
         return instance, None
 
-    def prepare_bundle(self, bundle):
+    def prepare_bundle(self, bundle: Any) -> Any:
         """The bundle converted onto this session's backend (cached).
 
         ``DatasetBundle.with_backend`` returns a *fresh* bundle with an
@@ -359,7 +371,7 @@ class LearningSession:
             return entry[1]
 
     def saturation_store_for(
-        self, instance: DatabaseInstance, learner=None
+        self, instance: DatabaseInstance, learner: Any = None
     ) -> Optional[SaturationStore]:
         """The shared warm store for a prepared instance (or ``None`` when
         ``reuse_saturation_store=False``).
@@ -382,7 +394,7 @@ class LearningSession:
             return store
 
     @staticmethod
-    def _learner_fingerprint(learner) -> object:
+    def _learner_fingerprint(learner: Any) -> object:
         """Everything saturation-relevant about a learner, hashable.
 
         Over-keying is safe (it only loses sharing); under-keying answers
@@ -440,7 +452,7 @@ class LearningSession:
         if not isinstance(delta, Delta):
             raise TypeError(
                 f"update() takes a Delta, got {type(delta).__name__}; "
-                f"build one with Delta.add/Delta.remove or session.feed()"
+                "build one with Delta.add/Delta.remove or session.feed()"
             )
         with self._lock:
             entry = self._instances.get(id(instance))
@@ -508,7 +520,12 @@ class LearningSession:
     # ------------------------------------------------------------------ #
     # Learners
     # ------------------------------------------------------------------ #
-    def apply(self, learner, instance=None, saturation_store=None):
+    def apply(
+        self,
+        learner: Any,
+        instance: Optional[DatabaseInstance] = None,
+        saturation_store: Optional[SaturationStore] = None,
+    ) -> Any:
         """Normalize a learner onto this session's config (see
         :meth:`SessionConfig.apply`); lets a session double as the
         ``context=`` argument of any learner constructor.  Instance
@@ -521,7 +538,13 @@ class LearningSession:
             _session_managed=True,
         )
 
-    def learner(self, kind, schema, parameters=None, **kwargs) -> SessionLearner:
+    def learner(
+        self,
+        kind: "str | type",
+        schema: Any,
+        parameters: Any = None,
+        **kwargs: Any,
+    ) -> SessionLearner:
         """Construct a learner bound to this session.
 
         ``kind`` is a registry name (``"castor"``, ``"progolem"``,
@@ -542,7 +565,9 @@ class LearningSession:
             learner = cls(schema, parameters=parameters, context=self, **kwargs)
         return SessionLearner(self, learner)
 
-    def presaturate(self, learner, instance: DatabaseInstance, examples) -> None:
+    def presaturate(
+        self, learner: Any, instance: DatabaseInstance, examples: "ExampleSet"
+    ) -> None:
         """Warm the shared saturation store for a whole example set.
 
         Builds the learner's coverage engine once and materializes every
@@ -572,7 +597,7 @@ class LearningSession:
             # Without the compiled store the warm-up would only fill this
             # throwaway engine's private cache — skip instead of double-paying.
             warn_once(
-                f"presaturate=True has no shared store to warm on "
+                "presaturate=True has no shared store to warm on "
                 f"{type(engine).__name__} (backend "
                 f"{getattr(instance, 'backend_name', '?')!r}); ignoring it"
             )
@@ -582,7 +607,15 @@ class LearningSession:
     # ------------------------------------------------------------------ #
     # Harness entry points
     # ------------------------------------------------------------------ #
-    def run(self, bundle, variant_name, learner, folds=3, seed=0, parameters=None):
+    def run(
+        self,
+        bundle: Any,
+        variant_name: str,
+        learner: Any,
+        folds: int = 3,
+        seed: int = 0,
+        parameters: Any = None,
+    ) -> Any:
         """Cross-validate one learner on one schema variant (see
         :func:`repro.experiments.harness.run_variant`)."""
         from ..experiments.harness import run_variant
@@ -601,7 +634,14 @@ class LearningSession:
                 bundle, variant_name, spec, folds=folds, seed=seed, session=self
             )
 
-    def sweep(self, bundle, learners, variants=None, folds=3, seed=0):
+    def sweep(
+        self,
+        bundle: Any,
+        learners: "list[Any] | tuple[Any, ...]",
+        variants: Optional[List[str]] = None,
+        folds: int = 3,
+        seed: int = 0,
+    ) -> Any:
         """Every learner on every schema variant (one of the paper's tables)."""
         from ..experiments.harness import run_schema_sweep
 
@@ -612,7 +652,13 @@ class LearningSession:
                 session=self,
             )
 
-    def check_schema_independence(self, bundle, learner, variants=None, seed=0):
+    def check_schema_independence(
+        self,
+        bundle: Any,
+        learner: Any,
+        variants: Optional[List[str]] = None,
+        seed: int = 0,
+    ) -> Any:
         """Direct empirical schema-independence check (Definition 3.10)."""
         from ..experiments.harness import check_schema_independence
 
@@ -621,7 +667,7 @@ class LearningSession:
             session=self,
         )
 
-    def _as_spec(self, learner, parameters=None):
+    def _as_spec(self, learner: Any, parameters: Any = None) -> Any:
         from ..experiments.harness import LearnerSpec
 
         if isinstance(learner, LearnerSpec):
@@ -648,7 +694,7 @@ class LearningSession:
         # engines are built per learn()).
         name = getattr(learner, "name", type(learner).__name__)
 
-        def rebind(schema):
+        def rebind(schema: Any) -> Any:
             if (
                 schema is None
                 or not hasattr(learner, "schema")
@@ -784,7 +830,7 @@ class LearningSession:
         self._ensure_open()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -797,6 +843,8 @@ class LearningSession:
         return f"LearningSession({target}, {len(self._instances)} instances, {state})"
 
 
-def connect(address: str, config: Optional[SessionConfig] = None, **overrides):
+def connect(
+    address: str, config: Optional[SessionConfig] = None, **overrides: object
+) -> LearningSession:
     """Module-level shorthand for :meth:`LearningSession.connect`."""
     return LearningSession.connect(address, config=config, **overrides)

@@ -14,7 +14,7 @@ to schemas, to database instances (œÑ and œÑ‚Åª¬π), and to Horn definitions (Œ¥œ
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..database.algebra import named_rows, natural_join_many
 from ..database.constraints import FunctionalDependency, InclusionDependency
@@ -52,7 +52,7 @@ class DecomposeOperation:
         """Check the operation is well formed for ``schema``; raise ValueError otherwise."""
         source = schema.relation(self.relation)
         covered: Set[str] = set()
-        for name, attrs in self.parts:
+        for _name, attrs in self.parts:
             for attribute in attrs:
                 source.position_of(attribute)
             covered |= set(attrs)
@@ -152,7 +152,7 @@ class ComposeOperation:
         if set(attributes) != union:
             raise ValueError(
                 f"attribute order for composed relation {self.new_name!r} must cover "
-                f"exactly the union of member attributes"
+                "exactly the union of member attributes"
             )
         if not self._members_connected(schema):
             raise ValueError(

@@ -19,7 +19,7 @@ relation with fresh variables in the unconstrained positions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..database.instance import DatabaseInstance
 from ..database.schema import Schema

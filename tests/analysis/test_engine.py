@@ -1,0 +1,170 @@
+"""Engine mechanics: suppression parsing, application, hygiene, JSON schema."""
+
+import json
+import textwrap
+
+from repro.analysis.engine import (
+    META_RULE,
+    AnalysisResult,
+    Finding,
+    parse_suppressions,
+    run_analysis,
+)
+from repro.analysis.rules import WireSafetyRule
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+# --------------------------------------------------------------------- #
+# parse_suppressions
+# --------------------------------------------------------------------- #
+
+
+def test_parse_suppression_with_reason():
+    src = "x = 1  # repro: noqa[REP001] -- trusted seam fixture\n"
+    sups = parse_suppressions(src)
+    assert list(sups) == [1]
+    assert sups[1].rule_ids == ("REP001",)
+    assert sups[1].reason == "trusted seam fixture"
+
+
+def test_parse_suppression_without_reason_keeps_none():
+    sups = parse_suppressions("x = 1  # repro: noqa[REP001]\n")
+    assert sups[1].reason is None
+
+
+def test_parse_suppression_multiple_ids():
+    sups = parse_suppressions("x = 1  # repro: noqa[REP001,REP004] -- both\n")
+    assert sups[1].rule_ids == ("REP001", "REP004")
+
+
+def test_suppression_in_string_literal_is_ignored():
+    src = 'doc = "use # repro: noqa[REP001] -- like this"\n'
+    assert parse_suppressions(src) == {}
+
+
+def test_suppression_in_docstring_is_ignored():
+    src = '"""Explains # repro: noqa[REP001] -- the syntax."""\nx = 1\n'
+    assert parse_suppressions(src) == {}
+
+
+# --------------------------------------------------------------------- #
+# Suppression application + hygiene (REP000)
+# --------------------------------------------------------------------- #
+
+
+def test_reasoned_suppression_marks_finding_suppressed(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import pickle  # repro: noqa[REP001] -- fixture justification\n",
+    )
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    assert result.ok
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].reason == "fixture justification"
+
+
+def test_reasonless_suppression_does_not_suppress_and_adds_rep000(tmp_path):
+    _write(tmp_path, "mod.py", "import pickle  # repro: noqa[REP001]\n")
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    rules_fired = sorted({f.rule for f in result.unsuppressed})
+    assert rules_fired == [META_RULE, "REP001"]
+
+
+def test_unused_suppression_is_flagged(tmp_path):
+    _write(tmp_path, "mod.py", "x = 1  # repro: noqa[REP001] -- nothing here\n")
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    assert [f.rule for f in result.unsuppressed] == [META_RULE]
+    assert "unused suppression" in result.unsuppressed[0].message
+
+
+def test_unknown_rule_id_suppression_is_flagged(tmp_path):
+    _write(tmp_path, "mod.py", "x = 1  # repro: noqa[REP999] -- what rule\n")
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    assert [f.rule for f in result.unsuppressed] == [META_RULE]
+    assert "unknown rule id" in result.unsuppressed[0].message
+
+
+def test_hygiene_can_be_disabled_for_partial_runs(tmp_path):
+    _write(tmp_path, "mod.py", "x = 1  # repro: noqa[REP001] -- partial run\n")
+    result = run_analysis(
+        [str(tmp_path)], [WireSafetyRule()], check_suppression_hygiene=False
+    )
+    assert result.ok
+
+
+def test_suppression_only_covers_named_rule(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        "import pickle  # repro: noqa[REP004] -- wrong rule id\n",
+    )
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    assert any(f.rule == "REP001" for f in result.unsuppressed)
+
+
+# --------------------------------------------------------------------- #
+# JSON output schema (v1: consumed by the CI artifact upload)
+# --------------------------------------------------------------------- #
+
+
+def test_json_schema(tmp_path):
+    _write(tmp_path, "mod.py", "import pickle\n")
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    payload = json.loads(result.to_json())
+    assert payload["version"] == 1
+    assert payload["rules"] == ["REP001"]
+    assert isinstance(payload["paths"], list) and len(payload["paths"]) == 1
+    assert payload["summary"] == {"total": 1, "suppressed": 0, "unsuppressed": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "path", "line", "message", "suppressed", "reason"}
+    assert finding["rule"] == "REP001"
+    assert finding["line"] == 1
+    assert finding["suppressed"] is False
+
+
+def test_render_text_has_location_and_summary_line(tmp_path):
+    _write(tmp_path, "mod.py", "import pickle\n")
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    text = result.render_text()
+    assert "mod.py:1: REP001" in text
+    assert "1 finding(s), 0 suppressed, 1 file(s) scanned" in text
+
+
+def test_result_ok_iff_no_unsuppressed():
+    clean = AnalysisResult(findings=[], paths=[], rule_ids=[])
+    assert clean.ok
+    dirty = AnalysisResult(
+        findings=[Finding(rule="REP001", path="x.py", line=1, message="m")],
+        paths=["x.py"],
+        rule_ids=["REP001"],
+    )
+    assert not dirty.ok
+
+
+# --------------------------------------------------------------------- #
+# File discovery
+# --------------------------------------------------------------------- #
+
+
+def test_pycache_and_duplicates_are_skipped(tmp_path):
+    _write(tmp_path, "pkg/mod.py", "import pickle\n")
+    _write(tmp_path, "pkg/__pycache__/mod.py", "import pickle\n")
+    result = run_analysis(
+        [str(tmp_path), str(tmp_path / "pkg" / "mod.py")], [WireSafetyRule()]
+    )
+    assert len(result.paths) == 1
+    assert len(result.findings) == 1
+
+
+def test_syntax_error_files_are_skipped(tmp_path):
+    _write(tmp_path, "broken.py", "def f(:\n")
+    result = run_analysis([str(tmp_path)], [WireSafetyRule()])
+    assert result.paths == []
+    assert result.ok

@@ -1,11 +1,9 @@
 """Tests for Castor's IND-aware bottom-clause construction (Lemma 7.5)."""
 
-import pytest
 
 from repro.castor.bottom_clause import CastorBottomClauseBuilder, CastorBottomClauseConfig
 from repro.learning.bottom_clause import BottomClauseBuilder, BottomClauseConfig
 from repro.learning.examples import Example
-from repro.logic.terms import Variable
 
 
 EXAMPLE = Example("advised", ("stud1", "prof1"), True)

@@ -1,6 +1,5 @@
 """Tests for inclusion-class instances, IND-aware ARMG, and negative reduction."""
 
-import pytest
 
 from repro.castor.armg import IndConsistencyEnforcer, castor_armg
 from repro.castor.bottom_clause import CastorBottomClauseBuilder, CastorBottomClauseConfig
@@ -11,7 +10,6 @@ from repro.castor.inclusion_instances import (
 )
 from repro.castor.reduction import NegativeReducer
 from repro.learning.coverage import SubsumptionCoverageEngine
-from repro.learning.examples import Example
 from repro.logic.parser import parse_clause
 from repro.progolem.armg import armg
 

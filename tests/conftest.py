@@ -12,7 +12,7 @@ from repro.database import (
     Schema,
 )
 from repro.datasets import hiv, imdb, uwcse
-from repro.transform import ComposeOperation, DecomposeOperation, SchemaTransformation
+from repro.transform import DecomposeOperation, SchemaTransformation
 
 
 @pytest.fixture(params=["memory", "sqlite", "sqlite-pooled"])

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.database.constraints import FunctionalDependency, InclusionDependency
 from repro.database.instance import DatabaseInstance, RelationInstance
 from repro.database.schema import RelationSchema, Schema
 

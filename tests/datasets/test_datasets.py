@@ -1,6 +1,5 @@
 """Tests for the synthetic UW-CSE, HIV, and IMDb dataset generators."""
 
-import pytest
 
 from repro.database.query import QueryEvaluator
 from repro.datasets import hiv, imdb, uwcse

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.distributed import (
     SHARDING_STRATEGIES,
@@ -99,9 +101,6 @@ def test_assigner_rejects_bad_configuration():
 # --------------------------------------------------------------------- #
 # Property tests (hypothesis)
 # --------------------------------------------------------------------- #
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
 key_strategy = st.tuples(
     st.sampled_from(["advisedby", "tempadvisedby", "taughtby"]),
     st.tuples(st.text(max_size=6), st.integers(-5, 5)),

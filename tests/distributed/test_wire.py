@@ -141,7 +141,7 @@ def test_decode_rejects_unknown_tags_and_raw_objects():
 def test_decode_rejects_hostile_deep_nesting():
     # Built by string concatenation: json.dumps itself cannot emit this.
     deep = '["L",' * 10_000 + '["L"]' + "]" * 10_000
-    body = '{"v": %d, "kind": "x", "payload": %s}' % (WIRE_VERSION, deep)
+    body = f'{{"v": {WIRE_VERSION}, "kind": "x", "payload": {deep}}}'
     with pytest.raises(WireFormatError):
         wire.loads(body.encode())
 

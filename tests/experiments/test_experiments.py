@@ -1,6 +1,5 @@
 """Tests for the experiment harness, reporting, and figure drivers (fast configs)."""
 
-import pytest
 
 from repro.datasets import uwcse
 from repro.experiments.figures import figure3_query_complexity

@@ -13,7 +13,6 @@ import pytest
 from repro.database import (
     DatabaseInstance,
     FunctionalDependency,
-    InclusionDependency,
     RelationSchema,
     Schema,
 )

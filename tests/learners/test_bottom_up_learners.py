@@ -1,6 +1,5 @@
 """End-to-end tests for Progol/Aleph, Golem, ProGolem, and Castor learners."""
 
-import pytest
 
 from repro.castor.castor import CastorLearner, CastorParameters
 from repro.castor.bottom_clause import CastorBottomClauseConfig

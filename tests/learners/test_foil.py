@@ -8,7 +8,6 @@ from repro.foil.foil import FoilLearner, FoilParameters
 from repro.foil.gain import coverage_score, foil_gain, information_content, laplace_accuracy, precision
 from repro.foil.refinement import RefinementConfig, RefinementOperator, initial_clause
 from repro.learning.evaluation import evaluate_definition
-from repro.logic.terms import Variable
 
 
 class TestGain:

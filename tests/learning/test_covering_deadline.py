@@ -76,7 +76,7 @@ class TestCoveringDeadline:
         clause = parse_clause("q(x) :- r1(x, y).")
         learner = _SlowClauseLearner(clause, delay_seconds=0.0)
         covering = _covering(learner, covered_per_round=2, max_seconds=None)
-        definition = covering.learn(simple_instance, _example_set())
+        covering.learn(simple_instance, _example_set())
         assert learner.calls == 3  # 6 positives / 2 covered per round
 
     def test_learner_parameters_thread_max_seconds(self):

@@ -82,7 +82,7 @@ class TestDelta:
         assert as_delta(delta) is delta
 
     def test_equality_hash_pickle(self):
-        import pickle
+        import pickle  # repro: noqa[REP001] -- Deltas cross the trusted coordinator<->worker seam in pickle frames; this asserts they survive the round-trip
 
         a = Delta.add("r", [("x", 1)])
         b = Delta([("add", "r", (("x", 1),))])

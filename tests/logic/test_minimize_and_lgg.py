@@ -1,6 +1,5 @@
 """Tests for clause minimization and (relative) least general generalization."""
 
-from repro.logic.clauses import HornClause
 from repro.logic.lgg import lgg_atoms, lgg_clauses, rlgg
 from repro.logic.minimize import minimize_clause, minimize_definition_clauses, remove_duplicate_literals
 from repro.logic.atoms import Atom

@@ -4,7 +4,6 @@ Parser convention reminder: single lowercase letters (``x``, ``y``, ``p``) are
 variables; multi-letter lowercase words (``alice``, ``paper1``) are constants.
 """
 
-from repro.logic.clauses import HornClause
 from repro.logic.parser import parse_clause
 from repro.logic.subsumption import (
     GroundClauseIndex,

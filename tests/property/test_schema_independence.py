@@ -7,7 +7,6 @@
   result relation on corresponding instances (Definition 3.10).
 """
 
-import pytest
 
 from repro.castor.castor import CastorLearner, CastorParameters
 from repro.castor.bottom_clause import CastorBottomClauseConfig

@@ -1,6 +1,5 @@
 """Tests for the MQ/EQ oracle, the A2 learner, and the random definition generator."""
 
-import pytest
 
 from repro.datasets import uwcse
 from repro.logic.clauses import HornDefinition

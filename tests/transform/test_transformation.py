@@ -3,7 +3,6 @@
 import pytest
 
 from repro.database.instance import DatabaseInstance
-from repro.database.query import evaluate_clause
 from repro.database.schema import RelationSchema, Schema
 from repro.logic.clauses import HornDefinition
 from repro.logic.parser import parse_clause
